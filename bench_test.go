@@ -1,0 +1,307 @@
+// Benchmarks regenerating the paper's evaluation (one bench per table and
+// figure, §4), plus microbenchmarks of the core operations. Each evaluation
+// bench drives the same experiment code as cmd/experiments at a reduced
+// scale so `go test -bench=.` completes in minutes; run
+// `go run ./cmd/experiments -scale full` for paper-cardinality numbers.
+package distjoin_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"distjoin"
+	idistjoin "distjoin/internal/distjoin"
+	"distjoin/internal/experiments"
+)
+
+// benchScale keeps per-iteration work bounded for testing.B.
+var benchScale = experiments.Scale{
+	Name:       "bench",
+	WaterN:     2_000,
+	RoadsN:     10_000,
+	PairCounts: []int{1, 10, 100, 1_000},
+	HybridDT1:  30,
+	HybridDT2:  120,
+	Seed:       1998,
+}
+
+// loadBench builds the datasets once per benchmark.
+func loadBench(b *testing.B) *experiments.Datasets {
+	b.Helper()
+	d, err := experiments.Load(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	return d
+}
+
+func runExperiment(b *testing.B, fn func(*experiments.Datasets) ([]experiments.Run, error)) {
+	d := loadBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (distance join measures at increasing
+// result counts).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, experiments.Table1) }
+
+// BenchmarkTable1Reversed regenerates the §4.1.1 reversed-operand runs.
+func BenchmarkTable1Reversed(b *testing.B) { runExperiment(b, experiments.Table1Reversed) }
+
+// BenchmarkFig6 regenerates Figure 6 (four algorithm versions).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates Figure 7 (maximum distance / maximum pairs).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8 regenerates Figure 8 (memory vs hybrid queues).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig8Adaptive ablates the adaptive-D_T extension alone.
+func BenchmarkFig8Adaptive(b *testing.B) {
+	d := loadBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := idistjoin.NewJoin(d.Water, d.Roads, idistjoin.Options{
+			Queue: idistjoin.QueueHybrid, HybridInMemory: true, // DT 0 = adaptive
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 1000; k++ {
+			if _, ok, err := j.Next(); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+		j.Close()
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (semi-join filtering strategies).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10 regenerates Figure 10 (semi-join max distance / max pairs).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, experiments.Fig10) }
+
+// BenchmarkSec414NestedLoop regenerates the §4.1.4 nested-loop comparison.
+func BenchmarkSec414NestedLoop(b *testing.B) { runExperiment(b, experiments.Sec414) }
+
+// BenchmarkSec423SemiJoinVsNN regenerates the §4.2.3 comparison.
+func BenchmarkSec423SemiJoinVsNN(b *testing.B) { runExperiment(b, experiments.Sec423) }
+
+// ---- Microbenchmarks of the public API ----
+
+func benchPoints(seed int64, n int) []distjoin.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]distjoin.Point, n)
+	for i := range pts {
+		pts[i] = distjoin.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+	}
+	return pts
+}
+
+// BenchmarkFirstPair measures time-to-first-result — the headline
+// "fast first" claim.
+func BenchmarkFirstPair(b *testing.B) {
+	a := distjoin.NewIndexFromPoints(benchPoints(1, 10_000))
+	defer a.Close()
+	c := distjoin.NewIndexFromPoints(benchPoints(2, 10_000))
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := distjoin.DistanceJoin(a, c, distjoin.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := j.Next(); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+		j.Close()
+	}
+}
+
+// BenchmarkNextPairSteadyState measures the amortized cost per result in a
+// long-running join.
+func BenchmarkNextPairSteadyState(b *testing.B) {
+	a := distjoin.NewIndexFromPoints(benchPoints(3, 10_000))
+	defer a.Close()
+	c := distjoin.NewIndexFromPoints(benchPoints(4, 10_000))
+	defer c.Close()
+	j, err := distjoin.DistanceJoin(a, c, distjoin.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures bulk-loading throughput.
+func BenchmarkIndexBuild(b *testing.B) {
+	pts := benchPoints(5, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx.Close()
+	}
+}
+
+// BenchmarkIndexInsert measures one-at-a-time R* insertion.
+func BenchmarkIndexInsert(b *testing.B) {
+	idx, err := distjoin.NewIndex(distjoin.IndexConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	rnd := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := distjoin.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+		if err := idx.InsertPoint(p, distjoin.ObjID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNearest measures incremental nearest-neighbour queries.
+func BenchmarkKNearest(b *testing.B) {
+	idx := distjoin.NewIndexFromPoints(benchPoints(7, 50_000))
+	defer idx.Close()
+	rnd := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := distjoin.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+		if _, err := distjoin.KNearest(idx, q, 10, distjoin.NNOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemiJoinFull measures the full semi-join with the strongest
+// filter — the §4.2.3 headline configuration.
+func BenchmarkSemiJoinFull(b *testing.B) {
+	a := distjoin.NewIndexFromPoints(benchPoints(9, 2_000))
+	defer a.Close()
+	c := distjoin.NewIndexFromPoints(benchPoints(10, 10_000))
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := distjoin.DistanceSemiJoin(a, c, distjoin.FilterGlobalAll, distjoin.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkAblationDeferLeaves measures the §2.2.2 deferred-leaf strategy
+// against the default expansion on the bench datasets.
+func BenchmarkAblationDeferLeaves(b *testing.B) {
+	d := loadBench(b)
+	for _, defer_ := range []bool{false, true} {
+		name := "Default"
+		if defer_ {
+			name = "DeferLeaves"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j, err := idistjoin.NewJoin(d.Water, d.Roads, idistjoin.Options{DeferLeaves: defer_})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 1000; k++ {
+					if _, ok, err := j.Next(); err != nil || !ok {
+						b.Fatal(ok, err)
+					}
+				}
+				j.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPlaneSweep measures the Figure 4 plane sweep's effect on
+// the Simultaneous traversal under a finite maximum distance (where the
+// paper says it helps).
+func BenchmarkAblationPlaneSweep(b *testing.B) {
+	d := loadBench(b)
+	for _, sweep := range []bool{true, false} {
+		name := "Sweep"
+		if !sweep {
+			name = "NoSweep"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j, err := idistjoin.NewJoin(d.Water, d.Roads, idistjoin.Options{
+					Traversal:    idistjoin.TraverseSimultaneous,
+					NoPlaneSweep: !sweep,
+					MaxDist:      500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 1000; k++ {
+					if _, ok, err := j.Next(); err != nil || !ok {
+						b.Fatal(ok, err)
+					}
+				}
+				j.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkKNearestJoin measures the k-NN join extension.
+func BenchmarkKNearestJoin(b *testing.B) {
+	a := distjoin.NewIndexFromPoints(benchPoints(11, 1_000))
+	defer a.Close()
+	c := distjoin.NewIndexFromPoints(benchPoints(12, 5_000))
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := distjoin.KNearestJoin(a, c, 5, distjoin.FilterInside2, distjoin.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, ok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkDimSweep regenerates the §5 higher-dimensions sweep.
+func BenchmarkDimSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DimSweep(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

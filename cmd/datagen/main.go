@@ -1,0 +1,60 @@
+// Command datagen generates the synthetic spatial datasets used by the
+// experiment harness and writes them as CSV (one "x,y" line per point).
+//
+// Usage:
+//
+//	datagen -kind water|roads|uniform|clustered [-n 10000] [-seed 1998] [-o out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distjoin/internal/datagen"
+	"distjoin/internal/geom"
+)
+
+func main() {
+	kind := flag.String("kind", "water", "dataset kind: water, roads, uniform, clustered")
+	n := flag.Int("n", 10_000, "number of points")
+	seed := flag.Int64("seed", 1998, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	clusters := flag.Int("clusters", 10, "cluster count (clustered kind)")
+	spread := flag.Float64("spread", 2_000, "cluster spread (clustered kind)")
+	flag.Parse()
+
+	if err := run(*kind, *n, *seed, *out, *clusters, *spread); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n int, seed int64, out string, clusters int, spread float64) error {
+	if n <= 0 {
+		return fmt.Errorf("point count must be positive, got %d", n)
+	}
+	var pts []geom.Point
+	switch kind {
+	case "water":
+		pts = datagen.Water(seed, n)
+	case "roads":
+		pts = datagen.Roads(seed, n)
+	case "uniform":
+		pts = datagen.Uniform(seed, n)
+	case "clustered":
+		pts = datagen.Clustered(seed, n, clusters, spread, 0.1)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return datagen.WritePoints(w, pts)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	for _, kind := range []string{"water", "roads", "uniform", "clustered"} {
+		out := filepath.Join(t.TempDir(), kind+".csv")
+		if err := run(kind, 100, 7, out, 5, 1000); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != 100 {
+			t.Fatalf("%s: %d lines, want 100", kind, lines)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 10, 1, "", 5, 100); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("water", 0, 1, "", 5, 100); err == nil {
+		t.Error("zero count accepted")
+	}
+	if err := run("water", 10, 1, "/nonexistent-dir/out.csv", 5, 100); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.csv")
+	b := filepath.Join(dir, "b.csv")
+	run("water", 50, 42, a, 5, 100)
+	run("water", 50, 42, b, 5, 100)
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Fatal("same seed produced different output")
+	}
+}

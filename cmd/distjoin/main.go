@@ -1,0 +1,142 @@
+// Command distjoin runs an incremental distance join or distance semi-join
+// over two CSV point files and streams the result pairs to stdout, one per
+// line: "obj1 obj2 distance".
+//
+// Usage:
+//
+//	distjoin -a water.csv -b roads.csv [-semi] [-k 10] [-min d] [-max d]
+//	         [-metric euclidean|manhattan|chessboard] [-reverse] [-stats]
+//
+// Pairs stream out closest-first as they are found — pipe through `head`
+// to see the incremental behaviour: the first pairs appear long before a
+// full join could complete.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"distjoin"
+	"distjoin/internal/datagen"
+)
+
+func main() {
+	fileA := flag.String("a", "", "CSV file with the first (outer) point set")
+	fileB := flag.String("b", "", "CSV file with the second (inner) point set")
+	semi := flag.Bool("semi", false, "compute the distance semi-join instead of the distance join")
+	knn := flag.Int("knn", 0, "with -semi: report the knn nearest partners per object instead of 1")
+	k := flag.Int("k", 0, "stop after k pairs (0 = unlimited); also activates max-distance estimation")
+	minD := flag.Float64("min", 0, "minimum pair distance")
+	maxD := flag.Float64("max", 0, "maximum pair distance (0 = unlimited)")
+	metricName := flag.String("metric", "euclidean", "distance metric: euclidean, manhattan, chessboard")
+	reverse := flag.Bool("reverse", false, "report pairs farthest-first")
+	showStats := flag.Bool("stats", false, "print performance counters to stderr when done")
+	flag.Parse()
+
+	if err := run(*fileA, *fileB, *semi, *knn, *k, *minD, *maxD, *metricName, *reverse, *showStats); err != nil {
+		fmt.Fprintln(os.Stderr, "distjoin:", err)
+		os.Exit(1)
+	}
+}
+
+func loadIndex(path string) (*distjoin.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	pts, err := datagen.ReadPoints(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return distjoin.BulkIndexPoints(distjoin.IndexConfig{}, pts)
+}
+
+func run(fileA, fileB string, semi bool, knn, k int, minD, maxD float64, metricName string, reverse, showStats bool) error {
+	if knn > 0 && !semi {
+		return fmt.Errorf("-knn requires -semi")
+	}
+	if fileA == "" || fileB == "" {
+		return fmt.Errorf("both -a and -b are required")
+	}
+	metric := distjoin.Metric(nil)
+	switch metricName {
+	case "euclidean":
+		metric = distjoin.Euclidean
+	case "manhattan":
+		metric = distjoin.Manhattan
+	case "chessboard":
+		metric = distjoin.Chessboard
+	default:
+		return fmt.Errorf("unknown metric %q", metricName)
+	}
+
+	a, err := loadIndex(fileA)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	b, err := loadIndex(fileB)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+
+	c := &distjoin.Stats{}
+	a.SetCounters(c)
+	b.SetCounters(c)
+	opts := distjoin.Options{
+		Metric:   metric,
+		MinDist:  minD,
+		MaxDist:  maxD,
+		MaxPairs: k,
+		Reverse:  reverse,
+		Counters: c,
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	next, closeFn, err := makeIterator(a, b, semi, knn, opts)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	for {
+		p, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(out, "%d %d %g\n", p.Obj1, p.Obj2, p.Dist); err != nil {
+			return err
+		}
+	}
+	if showStats {
+		out.Flush()
+		fmt.Fprintln(os.Stderr, c.String())
+	}
+	return nil
+}
+
+// makeIterator abstracts over join, semi-join and k-NN join.
+func makeIterator(a, b *distjoin.Index, semi bool, knn int, opts distjoin.Options) (func() (distjoin.Pair, bool, error), func() error, error) {
+	if semi {
+		if knn < 1 {
+			knn = 1
+		}
+		s, err := distjoin.KNearestJoin(a, b, knn, distjoin.FilterGlobalAll, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.Next, s.Close, nil
+	}
+	j, err := distjoin.DistanceJoin(a, b, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j.Next, j.Close, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCSV materializes a random point file and returns its path.
+func writeCSV(t *testing.T, seed int64, n int) string {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(f, "%g,%g\n", rnd.Float64()*100, rnd.Float64()*100)
+	}
+	return path
+}
+
+// captureStdout redirects os.Stdout for the duration of fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	total := 0
+	for {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	return string(buf[:total]), runErr
+}
+
+func TestRunJoinStreamsPairs(t *testing.T) {
+	a := writeCSV(t, 1, 50)
+	b := writeCSV(t, 2, 60)
+	out, err := captureStdout(t, func() error {
+		return run(a, b, false, 0, 5, 0, 0, "euclidean", false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 5 {
+		t.Fatalf("printed %d pairs, want 5:\n%s", lines, out)
+	}
+}
+
+func TestRunSemiJoin(t *testing.T) {
+	a := writeCSV(t, 3, 30)
+	b := writeCSV(t, 4, 40)
+	out, err := captureStdout(t, func() error {
+		return run(a, b, true, 0, 0, 0, 0, "manhattan", false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 30 {
+		t.Fatalf("semi-join printed %d pairs, want 30", lines)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	a := writeCSV(t, 5, 10)
+	if err := run("", a, false, 0, 0, 0, 0, "euclidean", false, false); err == nil {
+		t.Error("missing -a accepted")
+	}
+	if err := run(a, a, false, 0, 0, 0, 0, "bogus", false, false); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if err := run("/does/not/exist.csv", a, false, 0, 0, 0, 0, "euclidean", false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunKNNJoin(t *testing.T) {
+	a := writeCSV(t, 6, 20)
+	b := writeCSV(t, 7, 30)
+	out, err := captureStdout(t, func() error {
+		return run(a, b, true, 3, 0, 0, 0, "euclidean", false, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 60 {
+		t.Fatalf("3-NN join printed %d pairs, want 60", lines)
+	}
+}
+
+func TestRunKNNRequiresSemi(t *testing.T) {
+	a := writeCSV(t, 8, 5)
+	if err := run(a, a, false, 3, 0, 0, 0, "euclidean", false, false); err == nil {
+		t.Fatal("-knn without -semi accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§4) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	experiments [-scale small|full] [-exp all|table1|table1r|fig6|fig7|fig8|fig9|fig10|sec414|sec423]
+//
+// The small scale (default) runs the whole matrix in seconds; -scale full
+// uses the paper's dataset cardinalities (37,495 × 200,482 points).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distjoin/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "experiment scale: small or full")
+	expName := flag.String("exp", "all", "experiment id: all, table1, table1r, fig6, fig7, fig8, fig9, fig10, sec414, sec423, dims")
+	latency := flag.Duration("latency", 0, "simulated disk latency per node I/O (e.g. 100us) to restore the paper's I/O-dominated cost model")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	flag.Parse()
+
+	if err := run(*scaleName, *expName, *latency, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, expName string, latency time.Duration, asJSON bool) error {
+	scale, err := experiments.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	if !asJSON {
+		fmt.Printf("scale %s: Water=%d Roads=%d pairs=%v latency=%v\n", scale.Name, scale.WaterN, scale.RoadsN, scale.PairCounts, latency)
+	}
+	start := time.Now()
+	d, err := experiments.LoadWithLatency(scale, latency)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if !asJSON {
+		fmt.Printf("built R*-trees in %s (Water height %d, Roads height %d)\n\n",
+			experiments.FormatDuration(time.Since(start)), d.Water.Height(), d.Roads.Height())
+	}
+
+	type exp struct {
+		id    string
+		title string
+		run   func(*experiments.Datasets) ([]experiments.Run, error)
+	}
+	all := []exp{
+		{"table1", "Table 1: incremental distance join measures (Even/DepthFirst, hybrid queue)", experiments.Table1},
+		{"table1r", "§4.1.1: reversed operand order (Roads ⋈ Water), Even vs Basic", experiments.Table1Reversed},
+		{"fig6", "Figure 6: execution time of four algorithm versions", experiments.Fig6},
+		{"fig7", "Figure 7: maximum distance and maximum pairs (distance join)", experiments.Fig7},
+		{"fig8", "Figure 8: memory-only vs hybrid priority queue", experiments.Fig8},
+		{"fig9", "Figure 9: distance semi-join filtering strategies", experiments.Fig9},
+		{"fig10", "Figure 10: maximum distance and maximum pairs (distance semi-join)", experiments.Fig10},
+		{"sec414", "§4.1.4: nested-loop alternative", experiments.Sec414},
+		{"sec423", "§4.2.3: semi-join vs nearest-neighbour implementation (both orders)", experiments.Sec423},
+		{"dims", "§5 future work: distance join across dimensionalities", func(*experiments.Datasets) ([]experiments.Run, error) {
+			return experiments.DimSweep(scale)
+		}},
+	}
+
+	selected := strings.Split(expName, ",")
+	match := func(id string) bool {
+		for _, s := range selected {
+			if s == "all" || s == id {
+				return true
+			}
+		}
+		return false
+	}
+	ran := 0
+	for _, e := range all {
+		if !match(e.id) {
+			continue
+		}
+		runs, err := e.run(d)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if asJSON {
+			if err := experiments.WriteJSON(os.Stdout, e.id, runs); err != nil {
+				return err
+			}
+		} else {
+			experiments.PrintRuns(os.Stdout, fmt.Sprintf("[%s] %s", e.id, e.title), runs)
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", expName)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package distjoin
+
+import "distjoin/internal/costmodel"
+
+// CostOptions configures the sampling-based estimators; see
+// internal/costmodel. The zero value uses the Euclidean metric and a
+// 256-object sample per input.
+type CostOptions = costmodel.Options
+
+// EstimatePairsWithin estimates how many (a, b) object pairs lie within
+// distance d — the cardinality a query optimizer needs for a within join
+// (§5's cost-model direction).
+func EstimatePairsWithin(a, b *Index, d float64, opts CostOptions) (float64, error) {
+	return costmodel.PairsWithin(a.tree, b.tree, d, opts)
+}
+
+// EstimateDistanceForK estimates the distance of the k-th closest pair of
+// the distance join of a and b.
+func EstimateDistanceForK(a, b *Index, k int, opts CostOptions) (float64, error) {
+	return costmodel.DistanceForK(a.tree, b.tree, k, opts)
+}
+
+// EstimateSelectivity estimates the fraction of idx's objects accepted by
+// pred — the quantity that decides between filtering the incremental join's
+// output and pre-selecting into a new index (the two §5 query plans).
+func EstimateSelectivity(idx *Index, pred func(ObjID) bool, opts CostOptions) (float64, error) {
+	return costmodel.Selectivity(idx.tree, pred, opts)
+}
+
+// SuggestMaxDist proposes a MaxDist for a join that will stop after k
+// pairs, inflated by the safety factor (>= 1). Pairing this with MaxPairs
+// recovers most of Figure 7's MaxDist benefit without knowing the true
+// k-th distance; if the suggestion proves too small the engine's restart
+// path (§2.2.4) transparently recovers.
+func SuggestMaxDist(a, b *Index, k int, safety float64, opts CostOptions) (float64, error) {
+	return costmodel.SuggestMaxDist(a.tree, b.tree, k, safety, opts)
+}

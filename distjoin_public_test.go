@@ -1,0 +1,386 @@
+package distjoin_test
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"distjoin"
+)
+
+func randomPoints(seed int64, n int) []distjoin.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]distjoin.Point, n)
+	for i := range pts {
+		pts[i] = distjoin.Pt(rnd.Float64()*100, rnd.Float64()*100)
+	}
+	return pts
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	a := randomPoints(1, 100)
+	b := randomPoints(2, 120)
+	ia := distjoin.NewIndexFromPoints(a)
+	defer ia.Close()
+	ib := distjoin.NewIndexFromPoints(b)
+	defer ib.Close()
+
+	j, err := distjoin.DistanceJoin(ia, ib, distjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	var dists []float64
+	for len(dists) < 50 {
+		p, ok, err := j.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		dists = append(dists, p.Dist)
+	}
+	// Verify ascending order and correctness of the first pair.
+	best := math.Inf(1)
+	for _, p := range a {
+		for _, q := range b {
+			if d := distjoin.Euclidean.Dist(p, q); d < best {
+				best = d
+			}
+		}
+	}
+	if math.Abs(dists[0]-best) > 1e-9 {
+		t.Fatalf("first pair dist %g, true closest %g", dists[0], best)
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatal("pairs not in ascending distance order")
+	}
+}
+
+func TestPublicAPISemiJoin(t *testing.T) {
+	stores := randomPoints(3, 60)
+	warehouses := randomPoints(4, 8)
+	is := distjoin.NewIndexFromPoints(stores)
+	defer is.Close()
+	iw := distjoin.NewIndexFromPoints(warehouses)
+	defer iw.Close()
+
+	s, err := distjoin.DistanceSemiJoin(is, iw, distjoin.FilterGlobalAll, distjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	count := 0
+	for {
+		p, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		// Assignment must be to the true nearest warehouse.
+		best := math.Inf(1)
+		for _, w := range warehouses {
+			if d := distjoin.Euclidean.Dist(stores[p.Obj1], w); d < best {
+				best = d
+			}
+		}
+		if math.Abs(p.Dist-best) > 1e-9 {
+			t.Fatalf("store %d: %g vs nearest %g", p.Obj1, p.Dist, best)
+		}
+		count++
+	}
+	if count != len(stores) {
+		t.Fatalf("semi-join reported %d stores, want %d", count, len(stores))
+	}
+}
+
+func TestPublicAPINearestNeighbors(t *testing.T) {
+	pts := randomPoints(5, 200)
+	idx := distjoin.NewIndexFromPoints(pts)
+	defer idx.Close()
+	q := distjoin.Pt(50, 50)
+	res, err := distjoin.KNearest(idx, q, 10, distjoin.NNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d neighbours", len(res))
+	}
+	want := make([]float64, len(pts))
+	for i, p := range pts {
+		want[i] = distjoin.Euclidean.Dist(q, p)
+	}
+	sort.Float64s(want)
+	for i, r := range res {
+		if math.Abs(r.Dist-want[i]) > 1e-9 {
+			t.Fatalf("neighbour %d: %g, want %g", i, r.Dist, want[i])
+		}
+	}
+}
+
+func TestPublicAPIIndexCRUD(t *testing.T) {
+	idx, err := distjoin.NewIndex(distjoin.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	for i, p := range randomPoints(6, 300) {
+		if err := idx.InsertPoint(p, distjoin.ObjID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idx.Len() != 300 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	idx.Search(distjoin.R(distjoin.Pt(0, 0), distjoin.Pt(100, 100)), func(distjoin.Rect, distjoin.ObjID) bool {
+		found++
+		return true
+	})
+	if found != 300 {
+		t.Fatalf("search found %d", found)
+	}
+	pts := randomPoints(6, 300)
+	ok, err := idx.Delete(pts[0].Rect(), 0)
+	if err != nil || !ok {
+		t.Fatalf("delete failed: %v %v", ok, err)
+	}
+	if idx.Len() != 299 {
+		t.Fatalf("Len after delete = %d", idx.Len())
+	}
+}
+
+func TestPublicAPIStats(t *testing.T) {
+	a := randomPoints(7, 500)
+	b := randomPoints(8, 500)
+	ia := distjoin.NewIndexFromPoints(a)
+	defer ia.Close()
+	ib := distjoin.NewIndexFromPoints(b)
+	defer ib.Close()
+	c := &distjoin.Stats{}
+	ia.SetCounters(c)
+	ib.SetCounters(c)
+	j, err := distjoin.DistanceJoin(ia, ib, distjoin.Options{Counters: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 100; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			t.Fatalf("Next %d: %v %v", i, ok, err)
+		}
+	}
+	if c.DistCalcs == 0 || c.MaxQueueSize == 0 || c.PairsReported != 100 {
+		t.Fatalf("counters not recording: %+v", c)
+	}
+}
+
+func TestPublicAPICloseTwice(t *testing.T) {
+	idx := distjoin.NewIndexFromPoints(randomPoints(9, 5))
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestPublicAPIQuadIndexAndMixedJoin(t *testing.T) {
+	a := randomPoints(11, 150)
+	b := randomPoints(12, 180)
+	rIdx := distjoin.NewIndexFromPoints(a)
+	defer rIdx.Close()
+	qIdx, err := distjoin.NewQuadIndex(distjoin.QuadConfig{
+		Bounds: distjoin.R(distjoin.Pt(0, 0), distjoin.Pt(100, 100)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range b {
+		if err := qIdx.InsertPoint(p, distjoin.ObjID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if qIdx.Len() != len(b) {
+		t.Fatalf("quad Len = %d", qIdx.Len())
+	}
+
+	// Heterogeneous join: R*-tree against quadtree.
+	j, err := distjoin.DistanceJoinIndexes(rIdx.AsSpatialIndex(), qIdx.AsSpatialIndex(), distjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var dists []float64
+	for len(dists) < 400 {
+		p, ok, err := j.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		dists = append(dists, p.Dist)
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatal("mixed join out of order")
+	}
+	// Spot check the first pair against brute force.
+	best := math.Inf(1)
+	for _, p := range a {
+		for _, q := range b {
+			if d := distjoin.Euclidean.Dist(p, q); d < best {
+				best = d
+			}
+		}
+	}
+	if math.Abs(dists[0]-best) > 1e-9 {
+		t.Fatalf("first mixed pair %g, want %g", dists[0], best)
+	}
+
+	// Semi-join over the mixed indexes.
+	s, err := distjoin.DistanceSemiJoinIndexes(qIdx.AsSpatialIndex(), rIdx.AsSpatialIndex(),
+		distjoin.FilterGlobalAll, distjoin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	count := 0
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != len(b) {
+		t.Fatalf("mixed semi-join reported %d, want %d", count, len(b))
+	}
+
+	// Quadtree search and delete round-trip.
+	found := 0
+	qIdx.Search(distjoin.R(distjoin.Pt(0, 0), distjoin.Pt(100, 100)), func(distjoin.Point, distjoin.ObjID) bool {
+		found++
+		return true
+	})
+	if found != len(b) {
+		t.Fatalf("quad search found %d", found)
+	}
+	if !qIdx.Delete(b[0], 0) {
+		t.Fatal("quad delete failed")
+	}
+	if qIdx.Len() != len(b)-1 {
+		t.Fatal("quad Len after delete wrong")
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pages")
+	pts := randomPoints(13, 500)
+	idx, err := distjoin.CreateIndexFile(path, distjoin.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := idx.InsertPoint(p, distjoin.ObjID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := distjoin.OpenIndexFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(pts) {
+		t.Fatalf("reopened index Len = %d", re.Len())
+	}
+	// The reopened index joins correctly against a fresh one.
+	other := distjoin.NewIndexFromPoints(randomPoints(14, 100))
+	defer other.Close()
+	p, ok, err := distjoin.ClosestPair(re, other, distjoin.Options{})
+	if err != nil || !ok {
+		t.Fatalf("join over reopened index: %v %v", ok, err)
+	}
+	if p.Dist < 0 {
+		t.Fatal("nonsense distance")
+	}
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	// Exercise the remaining small facade surfaces: Lp, BulkIndex over
+	// rectangles, Insert, Scan, Height, Bounds, Tree, NearestNeighbors and
+	// QuadIndex.Bounds.
+	if distjoin.Lp(2) != distjoin.Euclidean {
+		t.Fatal("Lp(2) != Euclidean")
+	}
+	items := []distjoin.IndexItem{
+		{Rect: distjoin.R(distjoin.Pt(0, 0), distjoin.Pt(2, 2)), Obj: 7},
+		{Rect: distjoin.R(distjoin.Pt(5, 5), distjoin.Pt(6, 8)), Obj: 9},
+	}
+	idx, err := distjoin.BulkIndex(distjoin.IndexConfig{}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if err := idx.Insert(distjoin.R(distjoin.Pt(1, 1), distjoin.Pt(3, 3)), 11); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[distjoin.ObjID]bool{}
+	idx.Scan(func(r distjoin.Rect, id distjoin.ObjID) bool {
+		seen[id] = true
+		return true
+	})
+	if len(seen) != 3 || !seen[7] || !seen[9] || !seen[11] {
+		t.Fatalf("Scan saw %v", seen)
+	}
+	if idx.Height() < 1 {
+		t.Fatal("Height")
+	}
+	if b, ok := idx.Bounds(); !ok || !b.ContainsPoint(distjoin.Pt(6, 8)) {
+		t.Fatalf("Bounds = %v %v", b, ok)
+	}
+	if idx.Tree() == nil {
+		t.Fatal("Tree accessor nil")
+	}
+
+	it, err := distjoin.NearestNeighbors(idx, distjoin.Pt(0, 0), distjoin.NNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("NearestNeighbors: %v %v", ok, err)
+	}
+	if r.Dist != 0 { // query point touches the first rectangle
+		t.Fatalf("first neighbour dist %g", r.Dist)
+	}
+
+	q, err := distjoin.NewQuadIndex(distjoin.QuadConfig{
+		Bounds: distjoin.R(distjoin.Pt(0, 0), distjoin.Pt(10, 10)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Bounds().ContainsPoint(distjoin.Pt(5, 5)) {
+		t.Fatal("QuadIndex.Bounds wrong")
+	}
+}

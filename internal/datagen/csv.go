@@ -1,0 +1,71 @@
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"distjoin/internal/geom"
+)
+
+// WritePoints writes points as CSV lines "x,y[,z...]".
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		for i, c := range p {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(c, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses CSV lines of coordinates. Blank lines and lines
+// starting with '#' are skipped. All points must share a dimensionality.
+func ReadPoints(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	dims := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if dims == 0 {
+			dims = len(fields)
+		} else if len(fields) != dims {
+			return nil, fmt.Errorf("datagen: line %d has %d fields, want %d", lineNo, len(fields), dims)
+		}
+		p := make(geom.Point, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: line %d field %d: %w", lineNo, i+1, err)
+			}
+			p[i] = v
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("datagen: line %d: non-finite coordinate", lineNo)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

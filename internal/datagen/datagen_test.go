@@ -1,0 +1,168 @@
+package datagen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for name, gen := range map[string]func(int64, int) []geom.Point{
+		"uniform": Uniform,
+		"water":   Water,
+		"roads":   Roads,
+	} {
+		t.Run(name, func(t *testing.T) {
+			a := gen(42, 500)
+			b := gen(42, 500)
+			if len(a) != 500 {
+				t.Fatalf("generated %d points", len(a))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) {
+					t.Fatalf("point %d differs across runs with same seed", i)
+				}
+			}
+			c := gen(43, 500)
+			same := 0
+			for i := range a {
+				if a[i].Equal(c[i]) {
+					same++
+				}
+			}
+			if same == 500 {
+				t.Fatal("different seeds produced identical data")
+			}
+		})
+	}
+}
+
+func TestGeneratorsInsideWorld(t *testing.T) {
+	for name, pts := range map[string][]geom.Point{
+		"uniform":   Uniform(1, 2000),
+		"water":     Water(2, 2000),
+		"roads":     Roads(3, 2000),
+		"clustered": Clustered(4, 2000, 8, 2000, 0.1),
+	} {
+		for i, p := range pts {
+			if !World.ContainsPoint(p) {
+				t.Fatalf("%s point %d outside world: %v", name, i, p)
+			}
+		}
+	}
+}
+
+// Skew check: clustered generators concentrate mass far more than uniform.
+func TestGeneratorsAreSkewed(t *testing.T) {
+	occupied := func(pts []geom.Point) int {
+		const grid = 20
+		cells := map[int]bool{}
+		for _, p := range pts {
+			cx := int(p[0] / (100_000 / grid))
+			cy := int(p[1] / (100_000 / grid))
+			if cx >= grid {
+				cx = grid - 1
+			}
+			if cy >= grid {
+				cy = grid - 1
+			}
+			cells[cx*grid+cy] = true
+		}
+		return len(cells)
+	}
+	uni := occupied(Uniform(7, 3000))
+	wat := occupied(Water(7, 3000))
+	roa := occupied(Roads(7, 3000))
+	if wat >= uni || roa >= uni {
+		t.Fatalf("expected clustered data to occupy fewer cells: uniform=%d water=%d roads=%d", uni, wat, roa)
+	}
+}
+
+func TestBuildTreeAndInsertTree(t *testing.T) {
+	pts := Water(5, 3000)
+	cfg := rtree.Config{Dims: 2, PageSize: 512, BufferFrames: 64}
+	bulk, err := BuildTree(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+	ins, err := InsertTree(cfg, pts[:500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	if bulk.Len() != 3000 || ins.Len() != 500 {
+		t.Fatalf("tree sizes: %d, %d", bulk.Len(), ins.Len())
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTreeDimsMismatch(t *testing.T) {
+	if _, err := BuildTree(rtree.Config{Dims: 3}, []geom.Point{geom.Pt(1, 2)}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := Water(9, 200)
+	var buf bytes.Buffer
+	if err := WritePoints(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("read %d points, wrote %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if !got[i].Equal(pts[i]) {
+			t.Fatalf("point %d: %v != %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestReadPointsSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n1,2\n\n3,4\n"
+	pts, err := ReadPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || !pts[0].Equal(geom.Pt(1, 2)) || !pts[1].Equal(geom.Pt(3, 4)) {
+		t.Fatalf("parsed %v", pts)
+	}
+}
+
+func TestReadPointsErrors(t *testing.T) {
+	cases := []string{
+		"1,2\n3\n",        // inconsistent dims
+		"1,abc\n",         // bad float
+		"1," + nan + "\n", // non-finite
+	}
+	for _, in := range cases {
+		if _, err := ReadPoints(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+var nan = func() string {
+	return "NaN"
+}()
+
+func TestPaperCardinalityConstants(t *testing.T) {
+	if PaperWaterSize != 37495 || PaperRoadsSize != 200482 {
+		t.Fatal("paper cardinalities drifted")
+	}
+	_ = math.Pi // keep math import if constants change
+}

@@ -1,0 +1,40 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPoints checks the CSV reader never panics and that everything it
+// accepts round-trips through WritePoints.
+func FuzzReadPoints(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("# comment\n\n5.5,-2e3\n")
+	f.Add("1\n2\n3\n")
+	f.Add("NaN,1\n")
+	f.Add("a,b\n")
+	f.Add(strings.Repeat("1,2\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		pts, err := ReadPoints(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePoints(&buf, pts); err != nil {
+			t.Fatalf("WritePoints failed on accepted input: %v", err)
+		}
+		again, err := ReadPoints(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again) != len(pts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(pts), len(again))
+		}
+		for i := range pts {
+			if !again[i].Equal(pts[i]) {
+				t.Fatalf("round trip changed point %d: %v -> %v", i, pts[i], again[i])
+			}
+		}
+	})
+}

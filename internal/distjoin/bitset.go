@@ -1,0 +1,33 @@
+package distjoin
+
+// bitset is the growable bit-string representation the paper chose for the
+// reported-object set S_A of the distance semi-join (§3.2): constant-time
+// membership tests and insertions at a fixed, modest space cost.
+type bitset struct {
+	words []uint64
+	n     int // number of set bits
+}
+
+// Has reports whether id is in the set.
+func (b *bitset) Has(id uint64) bool {
+	w := id >> 6
+	if w >= uint64(len(b.words)) {
+		return false
+	}
+	return b.words[w]&(1<<(id&63)) != 0
+}
+
+// Add inserts id, growing the backing array as needed.
+func (b *bitset) Add(id uint64) {
+	w := id >> 6
+	for uint64(len(b.words)) <= w {
+		b.words = append(b.words, 0)
+	}
+	if b.words[w]&(1<<(id&63)) == 0 {
+		b.words[w] |= 1 << (id & 63)
+		b.n++
+	}
+}
+
+// Len returns the number of elements.
+func (b *bitset) Len() int { return b.n }

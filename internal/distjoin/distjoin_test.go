@@ -1,0 +1,617 @@
+package distjoin
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+	"distjoin/internal/stats"
+)
+
+// buildTree bulk-loads points into a small-node tree.
+func buildTree(t testing.TB, pts []geom.Point) *rtree.Tree {
+	t.Helper()
+	items := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = rtree.Item{Rect: p.Rect(), Obj: rtree.ObjID(i)}
+	}
+	tr, err := rtree.BulkLoad(rtree.Config{Dims: 2, PageSize: 512, BufferFrames: 32}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func clusteredPoints(seed int64, n int) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		// A few clusters plus uniform noise, mimicking skewed spatial data.
+		if rnd.Intn(4) == 0 {
+			pts[i] = geom.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+		} else {
+			cx := float64(100 + 200*rnd.Intn(4))
+			cy := float64(150 + 250*rnd.Intn(3))
+			pts[i] = geom.Pt(cx+rnd.NormFloat64()*30, cy+rnd.NormFloat64()*30)
+		}
+	}
+	return pts
+}
+
+// bruteJoin returns all pairs sorted ascending by Euclidean distance.
+type bruteResult struct {
+	i, j int
+	d    float64
+}
+
+func bruteJoin(a, b []geom.Point, m geom.Metric) []bruteResult {
+	out := make([]bruteResult, 0, len(a)*len(b))
+	for i, p := range a {
+		for j, q := range b {
+			out = append(out, bruteResult{i: i, j: j, d: m.Dist(p, q)})
+		}
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].d < out[y].d })
+	return out
+}
+
+// drainJoin pulls up to limit pairs.
+func drainJoin(t *testing.T, j *Join, limit int) []Pair {
+	t.Helper()
+	var out []Pair
+	for limit <= 0 || len(out) < limit {
+		p, ok, err := j.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// assertDistancesMatch verifies the result distance sequence equals the
+// brute-force prefix (pairs at equal distance may come in any order).
+func assertDistancesMatch(t *testing.T, got []Pair, want []bruteResult) {
+	t.Helper()
+	if len(got) > len(want) {
+		t.Fatalf("got %d pairs, brute force has %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if math.Abs(p.Dist-want[i].d) > 1e-9 {
+			t.Fatalf("pair %d: dist %g, want %g", i, p.Dist, want[i].d)
+		}
+	}
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	a := clusteredPoints(1, 150)
+	b := clusteredPoints(2, 180)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	want := bruteJoin(a, b, geom.Euclidean)
+
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"Even/DepthFirst", Options{}},
+		{"Even/BreadthFirst", Options{TieBreak: BreadthFirst}},
+		{"Basic/DepthFirst", Options{Traversal: TraverseBasic}},
+		{"Simultaneous/DepthFirst", Options{Traversal: TraverseSimultaneous}},
+		{"Simultaneous/NoSweep", Options{Traversal: TraverseSimultaneous, NoPlaneSweep: true}},
+		{"Hybrid", Options{Queue: QueueHybrid, HybridDT: 25, HybridInMemory: true}},
+		{"HybridAdaptive", Options{Queue: QueueHybrid, HybridInMemory: true}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			j, err := NewJoin(ta, tb, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			got := drainJoin(t, j, 2000)
+			if len(got) != 2000 {
+				t.Fatalf("drained %d pairs", len(got))
+			}
+			assertDistancesMatch(t, got, want)
+			// Verify the pairs themselves, not just distances: each
+			// reported pair's true distance must equal the reported one.
+			for _, p := range got {
+				if d := geom.Euclidean.Dist(a[p.Obj1], b[p.Obj2]); math.Abs(d-p.Dist) > 1e-9 {
+					t.Fatalf("pair (%d,%d): reported %g, actual %g", p.Obj1, p.Obj2, p.Dist, d)
+				}
+			}
+		})
+	}
+}
+
+func TestJoinFullResult(t *testing.T) {
+	a := clusteredPoints(3, 40)
+	b := clusteredPoints(4, 50)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	j, err := NewJoin(ta, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 0)
+	if len(got) != 40*50 {
+		t.Fatalf("full join produced %d pairs, want %d", len(got), 40*50)
+	}
+	want := bruteJoin(a, b, geom.Euclidean)
+	assertDistancesMatch(t, got, want)
+	// Every pair of the Cartesian product appears exactly once.
+	seen := map[[2]rtree.ObjID]bool{}
+	for _, p := range got {
+		k := [2]rtree.ObjID{p.Obj1, p.Obj2}
+		if seen[k] {
+			t.Fatalf("pair %v reported twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestJoinOtherMetrics(t *testing.T) {
+	a := clusteredPoints(5, 60)
+	b := clusteredPoints(6, 70)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	for _, m := range []geom.Metric{geom.Manhattan, geom.Chessboard} {
+		t.Run(m.Name(), func(t *testing.T) {
+			j, err := NewJoin(ta, tb, Options{Metric: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			got := drainJoin(t, j, 500)
+			assertDistancesMatch(t, got, bruteJoin(a, b, m))
+		})
+	}
+}
+
+func TestJoinDistanceRange(t *testing.T) {
+	a := clusteredPoints(7, 100)
+	b := clusteredPoints(8, 100)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	const dmin, dmax = 50.0, 120.0
+	j, err := NewJoin(ta, tb, Options{MinDist: dmin, MaxDist: dmax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 0)
+	var want []bruteResult
+	for _, r := range bruteJoin(a, b, geom.Euclidean) {
+		if r.d >= dmin && r.d <= dmax {
+			want = append(want, r)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range join returned %d pairs, want %d", len(got), len(want))
+	}
+	assertDistancesMatch(t, got, want)
+	for _, p := range got {
+		if p.Dist < dmin || p.Dist > dmax {
+			t.Fatalf("pair outside range: %g", p.Dist)
+		}
+	}
+}
+
+func TestJoinMaxPairs(t *testing.T) {
+	a := clusteredPoints(9, 200)
+	b := clusteredPoints(10, 220)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	want := bruteJoin(a, b, geom.Euclidean)
+	for _, k := range []int{1, 10, 100, 1000} {
+		j, err := NewJoin(ta, tb, Options{MaxPairs: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainJoin(t, j, 0)
+		if len(got) != k {
+			t.Fatalf("MaxPairs=%d returned %d pairs", k, len(got))
+		}
+		assertDistancesMatch(t, got, want)
+		if !math.IsInf(j.EffectiveMaxDist(), 1) && j.EffectiveMaxDist() < got[len(got)-1].Dist {
+			t.Fatalf("estimation overtightened: bound %g < kth dist %g",
+				j.EffectiveMaxDist(), got[len(got)-1].Dist)
+		}
+		j.Close()
+	}
+}
+
+func TestJoinMaxPairsTightensBound(t *testing.T) {
+	a := clusteredPoints(11, 300)
+	b := clusteredPoints(12, 300)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	j, err := NewJoin(ta, tb, Options{MaxPairs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	drainJoin(t, j, 0)
+	if math.IsInf(j.EffectiveMaxDist(), 1) {
+		t.Fatal("estimation never tightened the maximum distance")
+	}
+}
+
+func TestJoinReverse(t *testing.T) {
+	a := clusteredPoints(13, 60)
+	b := clusteredPoints(14, 70)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	j, err := NewJoin(ta, tb, Options{Reverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 500)
+	brute := bruteJoin(a, b, geom.Euclidean)
+	// Farthest first: compare against the descending prefix.
+	for i, p := range got {
+		want := brute[len(brute)-1-i].d
+		if math.Abs(p.Dist-want) > 1e-9 {
+			t.Fatalf("reverse pair %d: dist %g, want %g", i, p.Dist, want)
+		}
+	}
+}
+
+func TestJoinReverseFull(t *testing.T) {
+	a := clusteredPoints(15, 25)
+	b := clusteredPoints(16, 30)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	j, err := NewJoin(ta, tb, Options{Reverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 0)
+	if len(got) != 25*30 {
+		t.Fatalf("reverse full join produced %d pairs", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist > got[i-1].Dist+1e-9 {
+			t.Fatalf("reverse order violated at %d: %g then %g", i, got[i-1].Dist, got[i].Dist)
+		}
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	empty := buildTree(t, nil)
+	full := buildTree(t, clusteredPoints(17, 20))
+	for _, pair := range [][2]*rtree.Tree{{empty, full}, {full, empty}, {empty, empty}} {
+		j, err := NewJoin(pair[0], pair[1], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := j.Next(); ok {
+			t.Fatal("join of empty input produced a pair")
+		}
+		j.Close()
+	}
+}
+
+func TestJoinSingleObjects(t *testing.T) {
+	ta := buildTree(t, []geom.Point{geom.Pt(0, 0)})
+	tb := buildTree(t, []geom.Point{geom.Pt(3, 4)})
+	j, err := NewJoin(ta, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	p, ok, err := j.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if math.Abs(p.Dist-5) > 1e-9 {
+		t.Fatalf("Dist = %g, want 5", p.Dist)
+	}
+	if _, ok, _ := j.Next(); ok {
+		t.Fatal("more than one pair from singletons")
+	}
+}
+
+func TestJoinDuplicatePoints(t *testing.T) {
+	// Many coincident points: distances tie at 0; every pair must still be
+	// reported exactly once.
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		pts[i] = geom.Pt(5, 5)
+	}
+	ta, tb := buildTree(t, pts), buildTree(t, pts)
+	j, err := NewJoin(ta, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 0)
+	if len(got) != 400 {
+		t.Fatalf("got %d pairs, want 400", len(got))
+	}
+	for _, p := range got {
+		if p.Dist != 0 {
+			t.Fatalf("expected zero distance, got %g", p.Dist)
+		}
+	}
+}
+
+func TestJoinSelfJoin(t *testing.T) {
+	pts := clusteredPoints(19, 80)
+	tr := buildTree(t, pts)
+	j, err := NewJoin(tr, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 100)
+	// The first 80 pairs of a self join are the (i, i) pairs at distance 0.
+	zero := 0
+	for _, p := range got {
+		if p.Dist == 0 {
+			zero++
+		}
+	}
+	if zero < 80 {
+		t.Fatalf("self join found %d zero-distance pairs, want >= 80", zero)
+	}
+}
+
+func TestJoinOBRMode(t *testing.T) {
+	// Extended objects: leaves store bounding rectangles; exact geometry
+	// (smaller rects nested inside) comes from fetch callbacks.
+	rnd := rand.New(rand.NewSource(23))
+	type obj struct{ obr, exact geom.Rect }
+	mkObjs := func(n int) []obj {
+		out := make([]obj, n)
+		for i := range out {
+			x, y := rnd.Float64()*800, rnd.Float64()*800
+			w, h := 4+rnd.Float64()*10, 4+rnd.Float64()*10
+			exact := geom.R(geom.Pt(x+1, y+1), geom.Pt(x+w-1, y+h-1))
+			out[i] = obj{obr: geom.R(geom.Pt(x, y), geom.Pt(x+w, y+h)), exact: exact}
+		}
+		return out
+	}
+	// Note the OBR must minimally bound the object for MINMAXDIST pruning;
+	// here it does not (1-unit slack), so run without MinDist to stay in
+	// territory where only plain MINDIST consistency is required.
+	oa, ob := mkObjs(60), mkObjs(70)
+	mkTree := func(objs []obj) *rtree.Tree {
+		items := make([]rtree.Item, len(objs))
+		for i, o := range objs {
+			items[i] = rtree.Item{Rect: o.obr, Obj: rtree.ObjID(i)}
+		}
+		tr, err := rtree.BulkLoad(rtree.Config{Dims: 2, PageSize: 512, BufferFrames: 32}, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	ta, tb := mkTree(oa), mkTree(ob)
+	fetches := 0
+	j, err := NewJoin(ta, tb, Options{
+		Fetch1: func(id rtree.ObjID) (geom.Rect, error) { fetches++; return oa[id].exact, nil },
+		Fetch2: func(id rtree.ObjID) (geom.Rect, error) { fetches++; return ob[id].exact, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 300)
+	if fetches == 0 {
+		t.Fatal("OBR mode never fetched exact geometry")
+	}
+	// Brute force on exact geometry.
+	var want []float64
+	for _, a := range oa {
+		for _, b := range ob {
+			want = append(want, geom.Euclidean.MinDist(a.exact, b.exact))
+		}
+	}
+	sort.Float64s(want)
+	for i, p := range got {
+		if math.Abs(p.Dist-want[i]) > 1e-9 {
+			t.Fatalf("OBR pair %d: dist %g, want %g", i, p.Dist, want[i])
+		}
+	}
+}
+
+func TestJoinOptionValidation(t *testing.T) {
+	ta := buildTree(t, clusteredPoints(25, 10))
+	tb := buildTree(t, clusteredPoints(26, 10))
+	cases := []Options{
+		{MinDist: -1},
+		{MinDist: 10, MaxDist: 5},
+		{MaxPairs: -1},
+		{Reverse: true, Queue: QueueHybrid},
+		{Fetch1: func(rtree.ObjID) (geom.Rect, error) { return geom.Rect{}, nil }},
+		{PlaneSweep: true, NoPlaneSweep: true},
+	}
+	for i, o := range cases {
+		if _, err := NewJoin(ta, tb, o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := NewJoin(nil, tb, Options{}); err == nil {
+		t.Error("nil tree accepted")
+	}
+	t3d, _ := rtree.New(rtree.Config{Dims: 3})
+	defer t3d.Close()
+	if _, err := NewJoin(ta, t3d, Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestJoinStopAfterMaxPairsThenDone(t *testing.T) {
+	ta := buildTree(t, clusteredPoints(27, 50))
+	tb := buildTree(t, clusteredPoints(28, 50))
+	j, err := NewJoin(ta, tb, Options{MaxPairs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	got := drainJoin(t, j, 0)
+	if len(got) != 7 {
+		t.Fatalf("got %d", len(got))
+	}
+	// Next keeps returning done.
+	if _, ok, _ := j.Next(); ok {
+		t.Fatal("iterator resurrected after MaxPairs")
+	}
+	if j.Reported() != 7 {
+		t.Fatalf("Reported = %d", j.Reported())
+	}
+}
+
+// TestAccountingSemantics pins the paper's counting rules: object distance
+// calculations (Table 1's "Dist. Calc.") count only leaf-entry pairs; node
+// distance computations are tracked separately; queue inserts and the
+// high-water mark are recorded by the queue.
+func TestAccountingSemantics(t *testing.T) {
+	a := clusteredPoints(91, 100)
+	b := clusteredPoints(92, 100)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	c := &stats.Counters{}
+	j, err := NewJoin(ta, tb, Options{Counters: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 50; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			t.Fatalf("Next %d: %v %v", i, ok, err)
+		}
+	}
+	if c.DistCalcs == 0 {
+		t.Fatal("no object distance calcs counted")
+	}
+	if c.NodeDistCalcs == 0 {
+		t.Fatal("no node distance calcs counted")
+	}
+	if c.QueueInserts == 0 || c.MaxQueueSize == 0 || c.QueuePops == 0 {
+		t.Fatalf("queue accounting missing: %+v", c)
+	}
+	if c.PairsReported != 50 {
+		t.Fatalf("PairsReported = %d", c.PairsReported)
+	}
+	// Queue inserts can never exceed total distance computations: every
+	// enqueued pair had its key computed exactly once.
+	if c.QueueInserts > c.DistCalcs+c.NodeDistCalcs {
+		t.Fatalf("inserts %d exceed distance computations %d",
+			c.QueueInserts, c.DistCalcs+c.NodeDistCalcs)
+	}
+}
+
+// TestCountersNilSafe runs a join with no counters attached end to end.
+func TestCountersNilSafe(t *testing.T) {
+	ta := buildTree(t, clusteredPoints(93, 50))
+	tb := buildTree(t, clusteredPoints(94, 50))
+	j, err := NewJoin(ta, tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 20; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+}
+
+// TestJoinDeferLeaves checks the §2.2.2 deferred-leaf strategy produces the
+// standard result on both traversal policies.
+func TestJoinDeferLeaves(t *testing.T) {
+	a := clusteredPoints(95, 120)
+	b := clusteredPoints(96, 140)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	want := bruteJoin(a, b, geom.Euclidean)
+	for _, opts := range []Options{
+		{DeferLeaves: true},
+		{DeferLeaves: true, Traversal: TraverseBasic},
+		{DeferLeaves: true, TieBreak: BreadthFirst},
+	} {
+		j, err := NewJoin(ta, tb, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainJoin(t, j, 1000)
+		j.Close()
+		assertDistancesMatch(t, got, want)
+	}
+	// And a semi-join with deferral.
+	s, err := NewSemiJoin(ta, tb, FilterInside2, Options{DeferLeaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := drainSemi(t, s, 0)
+	wantSemi := bruteSemiJoin(a, b, geom.Euclidean)
+	if len(got) != len(wantSemi) {
+		t.Fatalf("deferred semi-join: %d pairs, want %d", len(got), len(wantSemi))
+	}
+	for i, p := range got {
+		if math.Abs(p.Dist-wantSemi[i].d) > 1e-9 {
+			t.Fatalf("pair %d: %g want %g", i, p.Dist, wantSemi[i].d)
+		}
+	}
+}
+
+// TestJoinReverseWithMaxPairs exercises the §2.2.5 minimum-distance
+// estimation: a reverse join bounded to K pairs must deliver exactly the K
+// farthest, with the estimation raising the minimum-distance bound.
+func TestJoinReverseWithMaxPairs(t *testing.T) {
+	a := clusteredPoints(131, 150)
+	b := clusteredPoints(132, 170)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+	brute := bruteJoin(a, b, geom.Euclidean)
+	for _, k := range []int{1, 10, 200, 2000} {
+		j, err := NewJoin(ta, tb, Options{Reverse: true, MaxPairs: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainJoin(t, j, 0)
+		j.Close()
+		if len(got) != k {
+			t.Fatalf("k=%d delivered %d", k, len(got))
+		}
+		for i, p := range got {
+			want := brute[len(brute)-1-i].d
+			if math.Abs(p.Dist-want) > 1e-9 {
+				t.Fatalf("k=%d pair %d: %g want %g", k, i, p.Dist, want)
+			}
+		}
+	}
+	// The estimation must actually raise the bound (prune something) for a
+	// modest K on this data.
+	c := &stats.Counters{}
+	jBounded, err := NewJoin(ta, tb, Options{Reverse: true, MaxPairs: 50, Counters: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainJoin(t, jBounded, 0)
+	boundedQueue := c.MaxQueueSize
+	jBounded.Close()
+	c2 := &stats.Counters{}
+	jFree, err := NewJoin(ta, tb, Options{Reverse: true, Counters: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainJoin(t, jFree, 50)
+	jFree.Close()
+	if boundedQueue >= c2.MaxQueueSize {
+		t.Fatalf("reverse estimation did not shrink the queue: %d vs %d", boundedQueue, c2.MaxQueueSize)
+	}
+}
+
+// TestSemiJoinReverseMaxPairsStillRejected pins the unsupported combination.
+func TestSemiJoinReverseMaxPairsStillRejected(t *testing.T) {
+	ta := buildTree(t, clusteredPoints(133, 10))
+	tb := buildTree(t, clusteredPoints(134, 10))
+	if _, err := NewSemiJoin(ta, tb, FilterInside2, Options{Reverse: true, MaxPairs: 3}); err == nil {
+		t.Fatal("reverse semi-join with MaxPairs accepted")
+	}
+}

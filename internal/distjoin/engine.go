@@ -1,0 +1,765 @@
+package distjoin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/pager"
+	"distjoin/internal/pqueue"
+	"distjoin/internal/rtree"
+)
+
+// semiState holds the bookkeeping shared by the distance semi-join (§2.3,
+// §4.2.1) and its two generalizations: the k-nearest-neighbours join (up to
+// k partners per first-input object — the paper's §1 "all nearest
+// neighbors" when run as a self join) and the symmetric "clustering join"
+// of [32], where a reported pair consumes BOTH of its objects.
+type semiState struct {
+	filter    SemiFilter
+	k         int            // partners per first object (>= 1)
+	symmetric bool           // clustering join: consume BOTH objects of a reported pair
+	seen      bitset         // S_A: first objects fully reported (bit-string, §3.2)
+	seen2     bitset         // clustering join: consumed second-input objects
+	counts    map[uint64]int // per-object partner counts when k > 1
+	// bestNode[page] is the smallest d_max observed for pairs whose first
+	// item is that node (FilterGlobalNodes and up).
+	bestNode map[uint64]float64
+	// bestObj[id] is the smallest d_max observed for pairs whose first
+	// item is that object (FilterGlobalAll).
+	bestObj map[uint64]float64
+}
+
+// done reports whether the first object needs no further partners.
+func (s *semiState) done(ref uint64) bool { return s.seen.Has(ref) }
+
+// record notes one reported partner for the first object and returns
+// whether the object is now complete.
+func (s *semiState) record(ref uint64) bool {
+	if s.k <= 1 {
+		s.seen.Add(ref)
+		return true
+	}
+	s.counts[ref]++
+	if s.counts[ref] >= s.k {
+		s.seen.Add(ref)
+		delete(s.counts, ref)
+		return true
+	}
+	return false
+}
+
+// engine is the shared core of the incremental distance join and distance
+// semi-join iterators.
+type engine struct {
+	t1, t2       SpatialIndex
+	root1, root2 uint64 // root refs, exempt from min-fill counting
+	opts         Options
+	q            pqueue.Queue[qpair]
+	dmin         float64 // effective minimum distance (raised by the reverse estimator)
+	dmaxCur      float64 // effective maximum distance, tightened by the estimator
+	est          *estimator
+	revEst       *revEstimator
+	semi         *semiState
+	sweep        bool
+
+	reported  int
+	skip      int  // results to silently re-skip after a restart
+	restarted bool // the §2.2.4 restart has been used
+	done      bool
+	closed    bool
+}
+
+// newEngine validates options, builds the queue, and seeds it with the
+// root/root pair.
+func newEngine(t1, t2 SpatialIndex, opts Options, semi *semiState) (*engine, error) {
+	if err := opts.validate(t1, t2, semi != nil); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		t1:      t1,
+		t2:      t2,
+		opts:    opts,
+		dmin:    opts.MinDist,
+		dmaxCur: opts.MaxDist,
+		semi:    semi,
+		sweep:   !opts.NoPlaneSweep,
+	}
+	if opts.MaxPairs > 0 {
+		if opts.Reverse {
+			e.revEst = newRevEstimator(opts.MaxPairs)
+		} else {
+			e.est = newEstimator(opts.MaxPairs, semi != nil)
+		}
+	}
+	// The Local/Global semi-join filters prune against d_max bounds that
+	// promise "some partner exists within this distance" — a promise that
+	// breaks when second-input objects can be disqualified (window or
+	// attribute selection) or when a minimum distance excludes near
+	// partners. Degrade to the strongest still-sound filter.
+	if semi != nil && semi.filter > FilterInside2 &&
+		(opts.Window2 != nil || opts.Select2 != nil || opts.MinDist > 0 ||
+			opts.OmitEqualIDs || semi.k > 1 || semi.symmetric) {
+		semi.filter = FilterInside2
+	}
+	if semi != nil && semi.k > 1 {
+		semi.counts = make(map[uint64]int)
+	}
+	if semi != nil && semi.filter >= FilterGlobalNodes {
+		semi.bestNode = make(map[uint64]float64)
+	}
+	if semi != nil && semi.filter >= FilterGlobalAll {
+		semi.bestObj = make(map[uint64]float64)
+	}
+
+	if err := e.makeQueue(); err != nil {
+		return nil, err
+	}
+	if t1.NumObjects() == 0 || t2.NumObjects() == 0 {
+		e.done = true
+		return e, nil
+	}
+	if err := e.seed(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// makeQueue (re)creates the priority queue per the configured kind.
+func (e *engine) makeQueue() error {
+	less := pairLess(e.opts.TieBreak == DepthFirst, e.opts.Reverse)
+	switch e.opts.Queue {
+	case QueueMemory:
+		e.q = pqueue.NewMemQueue(less, e.opts.Counters)
+	case QueueHybrid:
+		cfg := pqueue.HybridConfig{
+			DT:       e.opts.HybridDT,
+			Adaptive: e.opts.HybridDT == 0,
+			Dir:      e.opts.HybridDir,
+			Counters: e.opts.Counters,
+		}
+		if e.opts.HybridInMemory {
+			store, err := pager.NewMemStore(4096)
+			if err != nil {
+				return err
+			}
+			cfg.Store = store
+		}
+		hq, err := pqueue.NewHybridQueue(less, func(p qpair) float64 { return p.key }, pairCodec{dims: e.t1.Dims()}, cfg)
+		if err != nil {
+			return err
+		}
+		e.q = hq
+	default:
+		return fmt.Errorf("distjoin: unknown queue kind %d", e.opts.Queue)
+	}
+	return nil
+}
+
+// seed enqueues the initial root/root pair.
+func (e *engine) seed() error {
+	r1, err := e.rootItem(e.t1)
+	if err != nil {
+		return err
+	}
+	r2, err := e.rootItem(e.t2)
+	if err != nil {
+		return err
+	}
+	e.root1, e.root2 = r1.ref, r2.ref
+	return e.enqueue(r1, r2)
+}
+
+// restart re-runs the query without the maximum-distance estimation — the
+// recovery the paper prescribes when an over-tightened D_max leaves fewer
+// than K results findable (§2.2.4). For the semi-join the reported-object
+// set S survives, so completed objects are not re-reported; for the plain
+// join the deterministic pair order lets the engine silently skip the
+// already-delivered prefix.
+func (e *engine) restart() error {
+	e.restarted = true
+	e.est = nil
+	e.revEst = nil
+	e.dmaxCur = e.opts.MaxDist
+	e.dmin = e.opts.MinDist
+	if e.semi == nil {
+		e.skip = e.reported
+	}
+	if err := e.q.Close(); err != nil {
+		return err
+	}
+	if err := e.makeQueue(); err != nil {
+		return err
+	}
+	return e.seed()
+}
+
+// rootItem builds the queue item for an index's root node.
+func (e *engine) rootItem(t SpatialIndex) (item, error) {
+	root, err := t.Root()
+	if err != nil {
+		return item{}, err
+	}
+	return item{
+		kind:  kindNode,
+		level: int8(root.Level),
+		ref:   root.Ref,
+		rect:  root.Rect,
+	}, nil
+}
+
+// leafEntryKind is the item kind leaf entries carry: exact geometry when
+// objects are stored directly, bounding rectangles when a fetch or
+// exact-distance callback defers to external object geometry.
+func (e *engine) leafEntryKind() itemKind {
+	if e.opts.Fetch1 != nil || e.opts.ExactDist != nil {
+		return kindOBR
+	}
+	return kindObj
+}
+
+// enqueue computes the pair's key and bounds, applies range, estimation and
+// semi-join pruning, and inserts it into the queue.
+func (e *engine) enqueue(i1, i2 item) error {
+	// Spatial and attribute selection criteria (§2.2.5): discard items
+	// outside their window or rejected by their predicate before any
+	// distance work.
+	if !e.admit(i1, 1) || !e.admit(i2, 2) {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	if e.opts.OmitEqualIDs && !i1.isNode() && !i2.isNode() && i1.ref == i2.ref {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	if len(e.opts.OrderIntersectionsFrom) > 0 {
+		return e.enqueueIntersection(i1, i2)
+	}
+	// Semi-join Inside2 filtering: drop pairs whose first object has been
+	// reported before they ever reach the queue.
+	if e.semi != nil && e.semi.filter >= FilterInside2 && !i1.isNode() && e.semi.done(i1.ref) {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	if e.semi != nil && e.semi.symmetric && e.semi.filter >= FilterInside2 &&
+		!i2.isNode() && e.semi.seen2.Has(i2.ref) {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	d := e.minDist(i1, i2)
+	if d > e.dmaxCur {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	needMax := e.dmin > 0 || e.est != nil || e.revEst != nil || e.opts.Reverse ||
+		(e.semi != nil && e.semi.filter >= FilterGlobalNodes)
+	var dmax float64
+	if needMax {
+		dmax = e.maxDist(i1, i2)
+		if dmax < e.dmin {
+			e.opts.Counters.Filter(1)
+			return nil
+		}
+	}
+	if e.semi != nil && !e.semiGlobalAdmit(i1, d, dmax) {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	p := qpair{key: d, i1: i1, i2: i2}
+	if e.opts.Reverse && (i1.isNode() || i2.isNode() || i1.kind == kindOBR || i2.kind == kindOBR) {
+		// Farthest-first ordering keys node and OBR pairs by their upper
+		// bound (§2.2.5). Exact object pairs keep their true distance.
+		p.key = dmax
+	}
+	if e.revEst != nil {
+		// Reverse estimation (§2.2.5): raise the minimum-distance bound
+		// from the pairs seen so far, then prune anything that cannot be
+		// among the K farthest.
+		count := e.minObjects(i1, 1) * e.minObjects(i2, 2)
+		e.dmin = e.revEst.observe(p, d, dmax, e.dmin, e.opts.MaxDist, count)
+		if dmax < e.dmin {
+			e.revEst.onPop(p) // keep M consistent with the queue
+			e.opts.Counters.Filter(1)
+			return nil
+		}
+	}
+	if e.est != nil {
+		// An already-reported semi-join object can produce no further
+		// results; letting it into M would overcount and overtighten D_max
+		// (forcing more restarts), so keep it out. Nodes can still hide
+		// reported objects in their subtrees — that residual overcount is
+		// what the restart path recovers from.
+		estimable := true
+		if e.est.semi && !i1.isNode() && e.semi.seen.Has(i1.ref) {
+			estimable = false
+		}
+		if estimable {
+			count := e.minObjects(i1, 1)
+			if !e.est.semi {
+				count *= e.minObjects(i2, 2)
+			}
+			e.dmaxCur = e.est.observe(p, dmax, e.dmin, e.dmaxCur, count)
+		}
+	}
+	return e.q.Insert(p)
+}
+
+// admit applies the per-input selection criteria of §2.2.5: a window test
+// (pruning whole subtrees whose region misses the window) and an attribute
+// predicate on object ids.
+func (e *engine) admit(it item, side int) bool {
+	w, sel := e.opts.Window1, e.opts.Select1
+	if side == 2 {
+		w, sel = e.opts.Window2, e.opts.Select2
+	}
+	if w != nil {
+		if it.isNode() {
+			if !it.rect.Intersects(*w) {
+				return false
+			}
+		} else if !w.Contains(it.rect) {
+			return false
+		}
+	}
+	if sel != nil && !it.isNode() && !sel(rtree.ObjID(it.ref)) {
+		return false
+	}
+	return true
+}
+
+// enqueueIntersection keys a pair for the §2.2.5 secondary-ordering mode:
+// pairs that cannot intersect are discarded, and the rest are ordered by
+// the distance of their (potential) intersection region from the anchor
+// point. Shrinking to child regions shrinks the intersection, which can
+// only increase that distance, so the ordering is consistent.
+func (e *engine) enqueueIntersection(i1, i2 item) error {
+	x, ok := i1.rect.Intersection(i2.rect)
+	if i1.kind != kindObj || i2.kind != kindObj {
+		e.opts.Counters.AddNodeDistCalc(1)
+	} else {
+		e.opts.Counters.AddDistCalc(1)
+	}
+	if !ok {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	key := e.opts.Metric.MinDistPR(e.opts.OrderIntersectionsFrom, x)
+	return e.q.Insert(qpair{key: key, i1: i1, i2: i2})
+}
+
+// semiGlobalAdmit applies the GlobalNodes/GlobalAll pruning (§4.2.1): a
+// pair is useless if some earlier pair with the same first item guarantees
+// a closer partner for every object it covers. It also updates the global
+// d_max tables.
+func (e *engine) semiGlobalAdmit(i1 item, d, dmax float64) bool {
+	s := e.semi
+	if i1.isNode() {
+		if s.bestNode == nil {
+			return true
+		}
+		best, ok := s.bestNode[i1.ref]
+		if !ok || dmax < best {
+			s.bestNode[i1.ref] = dmax
+			best = dmax
+		}
+		return d <= best
+	}
+	if s.bestObj == nil {
+		return true
+	}
+	best, ok := s.bestObj[i1.ref]
+	if !ok || dmax < best {
+		s.bestObj[i1.ref] = dmax
+		best = dmax
+	}
+	return d <= best
+}
+
+// next drives the algorithm until the next reportable object pair.
+func (e *engine) next() (Pair, bool, error) {
+	if e.done {
+		return Pair{}, false, nil
+	}
+	if e.opts.MaxPairs > 0 && e.reported >= e.opts.MaxPairs {
+		e.done = true
+		return Pair{}, false, nil
+	}
+	for {
+		p, ok, err := e.q.Pop()
+		if err != nil {
+			return Pair{}, false, err
+		}
+		if !ok {
+			// The estimation of §2.2.4 may have over-tightened the maximum
+			// distance (e.g. when already-reported semi-join objects inflate
+			// the counts in M); the paper's remedy is to restart the query.
+			if (e.est != nil || e.revEst != nil) && !e.restarted && e.opts.MaxPairs > 0 && e.reported < e.opts.MaxPairs {
+				if err := e.restart(); err != nil {
+					return Pair{}, false, err
+				}
+				continue
+			}
+			e.done = true
+			return Pair{}, false, nil
+		}
+		if e.est != nil {
+			e.est.onPop(p)
+		}
+		if e.revEst != nil {
+			e.revEst.onPop(p)
+			// The bound may have risen after this pair was enqueued; a
+			// pair whose upper bound (its queue key, for non-object pairs)
+			// falls below it is dead. Exact object pairs carry their true
+			// distance, handled by the report-time range check.
+			if (p.i1.isNode() || p.i2.isNode()) && p.key < e.dmin {
+				e.opts.Counters.Filter(1)
+				continue
+			}
+		}
+		// The effective maximum may have tightened after this pair was
+		// enqueued (forward joins key node pairs by their minimum
+		// distance, so the comparison is sound).
+		if !e.opts.Reverse && p.key > e.dmaxCur {
+			e.opts.Counters.Filter(1)
+			continue
+		}
+		// Semi-join Inside1 filtering at dequeue time.
+		if e.semi != nil && e.semi.filter >= FilterInside1 &&
+			!p.i1.isNode() && e.semi.done(p.i1.ref) {
+			e.opts.Counters.Filter(1)
+			continue
+		}
+		if e.semi != nil && e.semi.symmetric && e.semi.filter >= FilterInside1 &&
+			!p.i2.isNode() && e.semi.seen2.Has(p.i2.ref) {
+			e.opts.Counters.Filter(1)
+			continue
+		}
+
+		switch {
+		case p.i1.kind == kindObj && p.i2.kind == kindObj:
+			if pair, report := e.report(p); report {
+				return pair, true, nil
+			}
+		case p.i1.kind == kindOBR && p.i2.kind == kindOBR:
+			reportable, exact, err := e.resolveOBR(&p)
+			if err != nil {
+				return Pair{}, false, err
+			}
+			if !exact {
+				continue // pruned by the distance range
+			}
+			if reportable {
+				if pair, report := e.report(p); report {
+					return pair, true, nil
+				}
+			}
+		default:
+			if err := e.expand(p); err != nil {
+				return Pair{}, false, err
+			}
+		}
+	}
+}
+
+// report delivers an exact object pair, applying the range check and the
+// semi-join duplicate filter. The boolean is false when the pair must be
+// silently skipped.
+func (e *engine) report(p qpair) (Pair, bool) {
+	if p.key < e.dmin || p.key > e.dmaxCur {
+		e.opts.Counters.Filter(1)
+		return Pair{}, false
+	}
+	if e.semi != nil {
+		if e.semi.done(p.i1.ref) || (e.semi.symmetric && e.semi.seen2.Has(p.i2.ref)) {
+			e.opts.Counters.Filter(1)
+			return Pair{}, false
+		}
+		if e.semi.record(p.i1.ref) && e.semi.bestObj != nil {
+			delete(e.semi.bestObj, p.i1.ref)
+		}
+		if e.semi.symmetric {
+			e.semi.seen2.Add(p.i2.ref)
+		}
+	}
+	// After a restart, the already-delivered prefix of a plain join is
+	// re-derived in identical order; swallow it silently.
+	if e.skip > 0 {
+		e.skip--
+		return Pair{}, false
+	}
+	if e.est != nil {
+		e.est.onReport(p)
+	}
+	if e.revEst != nil {
+		e.revEst.onReport()
+	}
+	e.reported++
+	e.opts.Counters.ReportPair()
+	if e.opts.MaxPairs > 0 && e.reported >= e.opts.MaxPairs {
+		e.done = true
+	}
+	return Pair{
+		Obj1:  rtree.ObjID(p.i1.ref),
+		Obj2:  rtree.ObjID(p.i2.ref),
+		Rect1: p.i1.rect,
+		Rect2: p.i2.rect,
+		Dist:  p.key,
+	}, true
+}
+
+// resolveOBR handles a dequeued OBR/OBR pair (Figure 3 lines 7–13): fetch
+// the exact geometry, compute the true distance, and either report the pair
+// immediately (when it still beats the queue head) or re-enqueue it as an
+// exact pair. Returns reportable=false, exact=false when the pair fails the
+// distance range.
+func (e *engine) resolveOBR(p *qpair) (reportable, exact bool, err error) {
+	r1, r2 := p.i1.rect, p.i2.rect
+	if e.opts.Fetch1 != nil {
+		r1, err = e.opts.Fetch1(rtree.ObjID(p.i1.ref))
+		if err != nil {
+			return false, false, fmt.Errorf("distjoin: fetching object %d from input 1: %w", p.i1.ref, err)
+		}
+		r2, err = e.opts.Fetch2(rtree.ObjID(p.i2.ref))
+		if err != nil {
+			return false, false, fmt.Errorf("distjoin: fetching object %d from input 2: %w", p.i2.ref, err)
+		}
+	}
+	p.i1 = item{kind: kindObj, level: -1, ref: p.i1.ref, rect: r1}
+	p.i2 = item{kind: kindObj, level: -1, ref: p.i2.ref, rect: r2}
+	var d float64
+	if e.opts.ExactDist != nil {
+		d, err = e.opts.ExactDist(rtree.ObjID(p.i1.ref), rtree.ObjID(p.i2.ref))
+		if err != nil {
+			return false, false, fmt.Errorf("distjoin: exact distance of (%d, %d): %w", p.i1.ref, p.i2.ref, err)
+		}
+		e.opts.Counters.AddDistCalc(1)
+	} else {
+		d = e.minDist(p.i1, p.i2)
+	}
+	if d < e.dmin || d > e.dmaxCur {
+		e.opts.Counters.Filter(1)
+		return false, false, nil
+	}
+	p.key = d
+	front, ok, err := e.q.Peek()
+	if err != nil {
+		return false, false, err
+	}
+	better := !ok
+	if ok {
+		if e.opts.Reverse {
+			better = d >= front.key
+		} else {
+			better = d <= front.key
+		}
+	}
+	if better {
+		return true, true, nil
+	}
+	if err := e.q.Insert(*p); err != nil {
+		return false, false, err
+	}
+	return false, true, nil
+}
+
+// expand processes a pair with at least one node according to the traversal
+// policy.
+func (e *engine) expand(p qpair) error {
+	switch {
+	case p.i1.isNode() && p.i2.isNode():
+		if e.opts.DeferLeaves {
+			// §2.2.2: when leaves lack bounding rectangles it pays to hold
+			// a leaf back until the other side reaches a leaf too, then
+			// process both at once.
+			leaf1, err := e.isLeaf(e.t1, p.i1)
+			if err != nil {
+				return err
+			}
+			leaf2, err := e.isLeaf(e.t2, p.i2)
+			if err != nil {
+				return err
+			}
+			switch {
+			case leaf1 && leaf2:
+				return e.expandBoth(p)
+			case leaf1:
+				return e.expandSide(p, 2)
+			case leaf2:
+				return e.expandSide(p, 1)
+			}
+		}
+		switch e.opts.Traversal {
+		case TraverseSimultaneous:
+			return e.expandBoth(p)
+		case TraverseBasic:
+			return e.expandSide(p, 1)
+		default: // TraverseEven: process the shallower node; ties go to item 1.
+			if int(p.i2.level) > int(p.i1.level) {
+				return e.expandSide(p, 2)
+			}
+			return e.expandSide(p, 1)
+		}
+	case p.i1.isNode():
+		return e.expandSide(p, 1)
+	default:
+		return e.expandSide(p, 2)
+	}
+}
+
+// isLeaf reports whether a node item is a leaf. Level 0 is necessarily a
+// leaf in both supported structures; higher levels require a probe (an
+// unbalanced structure may hold leaves anywhere).
+func (e *engine) isLeaf(t SpatialIndex, it item) (bool, error) {
+	if it.level == 0 {
+		return true, nil
+	}
+	n, err := t.Node(it.ref)
+	if err != nil {
+		return false, err
+	}
+	return n.Leaf, nil
+}
+
+// expandSide replaces the node on the given side with its entries,
+// enqueueing one new pair per entry (ProcessNode1/ProcessNode2 of Figure 3,
+// with the Figure 5 range checks applied inside enqueue).
+func (e *engine) expandSide(p qpair, side int) error {
+	var t SpatialIndex
+	var nodeItem, other item
+	if side == 1 {
+		t, nodeItem, other = e.t1, p.i1, p.i2
+	} else {
+		t, nodeItem, other = e.t2, p.i2, p.i1
+	}
+	n, err := t.Node(nodeItem.ref)
+	if err != nil {
+		return err
+	}
+	children := e.childItems(n)
+
+	// Semi-join Local pruning (§4.2.1): when expanding a second-input
+	// node, any generated pair farther than the smallest d_max among the
+	// entries cannot supply the nearest partner for any first-input
+	// object.
+	var localBound float64 = math.Inf(1)
+	if side == 2 && e.semi != nil && e.semi.filter >= FilterLocal && len(children) > 0 {
+		for _, c := range children {
+			if dm := e.maxDist(other, c); dm < localBound {
+				localBound = dm
+			}
+		}
+	}
+
+	for _, c := range children {
+		if side == 2 && localBound < math.Inf(1) {
+			if e.opts.Metric.MinDist(other.rect, c.rect) > localBound {
+				e.opts.Counters.Filter(1)
+				continue
+			}
+		}
+		var err error
+		if side == 1 {
+			err = e.enqueue(c, other)
+		} else {
+			err = e.enqueue(other, c)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// childItems converts a node's entries into queue items.
+func (e *engine) childItems(n *IndexNode) []item {
+	if n.Leaf {
+		kind := e.leafEntryKind()
+		out := make([]item, len(n.Objects))
+		for i, o := range n.Objects {
+			out[i] = item{kind: kind, level: -1, ref: o.ID, rect: o.Rect}
+		}
+		return out
+	}
+	out := make([]item, len(n.Children))
+	for i, c := range n.Children {
+		out[i] = item{kind: kindNode, level: int8(c.Level), ref: c.Ref, rect: c.Rect}
+	}
+	return out
+}
+
+// expandBoth processes both nodes of a node/node pair simultaneously
+// (§2.2.2, "Simultaneous"), pairing up the entries of the two nodes. When a
+// finite maximum distance is in force, entries outside the range of the
+// opposite node are filtered first and a plane sweep along axis 0 limits
+// the candidate pairs (Figure 4, with the sweep extended by D_max).
+func (e *engine) expandBoth(p qpair) error {
+	n1, err := e.t1.Node(p.i1.ref)
+	if err != nil {
+		return err
+	}
+	n2, err := e.t2.Node(p.i2.ref)
+	if err != nil {
+		return err
+	}
+	c1 := e.childItems(n1)
+	c2 := e.childItems(n2)
+
+	if e.sweep && !math.IsInf(e.dmaxCur, 1) {
+		// Restrict the search space: keep only entries within D_max of the
+		// space spanned by the opposite node.
+		c1 = e.withinOf(c1, p.i2.rect)
+		c2 = e.withinOf(c2, p.i1.rect)
+		// Plane sweep along axis 0 over entries sorted by low edge.
+		sort.Slice(c1, func(i, j int) bool { return c1[i].rect.Lo[0] < c1[j].rect.Lo[0] })
+		sort.Slice(c2, func(i, j int) bool { return c2[i].rect.Lo[0] < c2[j].rect.Lo[0] })
+		start := 0
+		for _, a := range c1 {
+			// Advance past entries that end before the sweep window.
+			for start < len(c2) && c2[start].rect.Hi[0] < a.rect.Lo[0]-e.dmaxCur {
+				start++
+			}
+			for k := start; k < len(c2); k++ {
+				b := c2[k]
+				if b.rect.Lo[0] > a.rect.Hi[0]+e.dmaxCur {
+					break // beyond the sweep window along the axis
+				}
+				if err := e.enqueue(a, b); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, a := range c1 {
+		for _, b := range c2 {
+			if err := e.enqueue(a, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// withinOf filters items to those within the effective maximum distance of
+// the region spanned by the opposite node.
+func (e *engine) withinOf(items []item, opposite geom.Rect) []item {
+	out := items[:0]
+	for _, it := range items {
+		if e.opts.Metric.MinDist(it.rect, opposite) <= e.dmaxCur {
+			out = append(out, it)
+		} else {
+			e.opts.Counters.Filter(1)
+		}
+	}
+	return out
+}
+
+// close releases queue resources.
+func (e *engine) close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	return e.q.Close()
+}

@@ -1,0 +1,159 @@
+package distjoin
+
+import (
+	"errors"
+
+	"distjoin/internal/rtree"
+)
+
+// Join is an incremental distance join iterator: it reports the pairs of
+// the Cartesian product of the two indexed inputs in ascending order of
+// distance (descending when Options.Reverse is set), one pair per Next
+// call, computing only as much of the join as the caller consumes.
+type Join struct {
+	e *engine
+}
+
+// NewJoin creates an incremental distance join of two R-trees. The trees
+// must have equal dimensionality and must not be modified while the join is
+// in progress.
+func NewJoin(t1, t2 *rtree.Tree, opts Options) (*Join, error) {
+	return NewJoinIndexes(wrapTree(t1), wrapTree(t2), opts)
+}
+
+// NewJoinIndexes creates an incremental distance join over any two
+// hierarchical spatial indexes implementing SpatialIndex — the paper's
+// generality claim (§2.2): the same algorithm drives R-trees, quadtrees and
+// other hierarchical decompositions, in any combination.
+func NewJoinIndexes(t1, t2 SpatialIndex, opts Options) (*Join, error) {
+	e, err := newEngine(t1, t2, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Join{e: e}, nil
+}
+
+// wrapTree adapts an R-tree, preserving nil for validation.
+func wrapTree(t *rtree.Tree) SpatialIndex {
+	if t == nil {
+		return nil
+	}
+	return WrapRTree(t)
+}
+
+// Next returns the next closest pair. ok is false when the join is
+// exhausted (or the MaxPairs bound is reached).
+func (j *Join) Next() (p Pair, ok bool, err error) { return j.e.next() }
+
+// Reported returns the number of pairs delivered so far.
+func (j *Join) Reported() int { return j.e.reported }
+
+// QueueLen returns the current priority-queue size (diagnostic).
+func (j *Join) QueueLen() int { return j.e.q.Len() }
+
+// EffectiveMaxDist returns the maximum distance currently in force: the
+// configured maximum, possibly tightened by the §2.2.4 estimation.
+func (j *Join) EffectiveMaxDist() float64 { return j.e.dmaxCur }
+
+// Restarted reports whether the engine used the §2.2.4 restart (the
+// estimation had over-tightened the maximum distance). Diagnostic.
+func (j *Join) Restarted() bool { return j.e.restarted }
+
+// Close releases queue resources (the hybrid queue's scratch file). The
+// iterator must not be used afterwards.
+func (j *Join) Close() error { return j.e.close() }
+
+// SemiJoin is an incremental distance semi-join iterator (§2.3): for each
+// first-input object, its nearest second-input object, reported in
+// ascending order of distance.
+type SemiJoin struct {
+	e *engine
+}
+
+// NewSemiJoin creates an incremental distance semi-join of two R-trees
+// using the given filtering strategy (§4.2.1).
+func NewSemiJoin(t1, t2 *rtree.Tree, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	return NewSemiJoinIndexes(wrapTree(t1), wrapTree(t2), filter, opts)
+}
+
+// NewSemiJoinIndexes creates an incremental distance semi-join over any two
+// SpatialIndex implementations.
+func NewSemiJoinIndexes(t1, t2 SpatialIndex, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	return NewKNearestJoinIndexes(t1, t2, 1, filter, opts)
+}
+
+// NewKNearestJoin creates an incremental k-nearest-neighbours join of two
+// R-trees: for each first-input object, its k nearest second-input objects,
+// reported in ascending order of distance (the "all nearest neighbors"
+// variation of §1, generalized to k). k = 1 is the distance semi-join.
+func NewKNearestJoin(t1, t2 *rtree.Tree, k int, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	return NewKNearestJoinIndexes(wrapTree(t1), wrapTree(t2), k, filter, opts)
+}
+
+// NewClusteringJoin creates the symmetric "clustering join" of [32] that
+// the paper's introduction contrasts with the distance semi-join (§1):
+// pairs are reported in ascending distance order, and once (o1, o2) is
+// reported NEITHER object appears in any later pair — a greedy mutual
+// pairing of the two inputs. The result has min(|A|, |B|) pairs. The
+// d_max-based filters assume only the first side is consumed, so the filter
+// is capped at Inside2 internally.
+func NewClusteringJoin(t1, t2 *rtree.Tree, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	return NewClusteringJoinIndexes(wrapTree(t1), wrapTree(t2), filter, opts)
+}
+
+// NewClusteringJoinIndexes is NewClusteringJoin over arbitrary SpatialIndex
+// implementations.
+func NewClusteringJoinIndexes(t1, t2 SpatialIndex, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	if filter < FilterOutside || filter > FilterGlobalAll {
+		return nil, errInvalidFilter(filter)
+	}
+	e, err := newEngine(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
+	if err != nil {
+		return nil, err
+	}
+	return &SemiJoin{e: e}, nil
+}
+
+// NewKNearestJoinIndexes is NewKNearestJoin over arbitrary SpatialIndex
+// implementations. For k > 1 the d_max-based filters (Local and up) are
+// degraded to Inside2, since their bounds only promise one partner.
+func NewKNearestJoinIndexes(t1, t2 SpatialIndex, k int, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	if filter < FilterOutside || filter > FilterGlobalAll {
+		return nil, errInvalidFilter(filter)
+	}
+	if k < 1 {
+		return nil, errors.New("distjoin: k must be at least 1")
+	}
+	e, err := newEngine(t1, t2, opts, &semiState{filter: filter, k: k})
+	if err != nil {
+		return nil, err
+	}
+	return &SemiJoin{e: e}, nil
+}
+
+// Next returns the next semi-join pair. ok is false when every first-input
+// object has been reported (or MaxPairs was reached, or no partner exists
+// within the distance range).
+func (s *SemiJoin) Next() (p Pair, ok bool, err error) { return s.e.next() }
+
+// Reported returns the number of pairs delivered so far.
+func (s *SemiJoin) Reported() int { return s.e.reported }
+
+// QueueLen returns the current priority-queue size (diagnostic).
+func (s *SemiJoin) QueueLen() int { return s.e.q.Len() }
+
+// Restarted reports whether the engine used the §2.2.4 restart. Diagnostic.
+func (s *SemiJoin) Restarted() bool { return s.e.restarted }
+
+// Close releases queue resources.
+func (s *SemiJoin) Close() error { return s.e.close() }
+
+func errInvalidFilter(f SemiFilter) error {
+	return &filterError{f: f}
+}
+
+type filterError struct{ f SemiFilter }
+
+func (e *filterError) Error() string {
+	return "distjoin: invalid semi-join filter " + e.f.String()
+}

@@ -1,0 +1,166 @@
+// Package distjoin implements the paper's primary contribution: incremental
+// algorithms for the distance join and distance semi-join of two R-tree
+// indexed spatial relations (Hjaltason & Samet, SIGMOD 1998, §2).
+//
+// The central structure is a priority queue of pairs, each pair combining an
+// item (index node, leaf bounding rectangle, or exact object) from each
+// input, keyed by the distance between the items. Popping the minimum pair
+// either reports an object pair — guaranteed to be the next closest by the
+// consistency of the distance functions — or expands a node into child
+// pairs. All of the paper's evaluated variants are implemented: traversal
+// policies (Basic / Even / Simultaneous with plane sweep), tie-breaking
+// (depth-first / breadth-first), distance ranges with MINMAXDIST pruning,
+// maximum-distance estimation from a result-count bound, the semi-join
+// filtering ladder (Outside … GlobalAll), and reverse (farthest-first)
+// ordering.
+package distjoin
+
+import (
+	"encoding/binary"
+	"math"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+)
+
+// itemKind distinguishes the three kinds of queue-pair items.
+type itemKind uint8
+
+const (
+	// kindNode is an index node, referenced by page id.
+	kindNode itemKind = iota
+	// kindOBR is a leaf entry holding an object bounding rectangle; the
+	// exact geometry must be fetched before the pair can be reported
+	// (Figure 3, lines 7–13).
+	kindOBR
+	// kindObj is exact object geometry (leaf entries when objects are
+	// stored directly, or fetched geometry re-enqueued from an OBR pair).
+	kindObj
+)
+
+// item is one half of a queue pair.
+type item struct {
+	kind  itemKind
+	level int8 // node level; -1 for OBR/object items
+	ref   uint64
+	rect  geom.Rect
+}
+
+func (it item) isNode() bool { return it.kind == kindNode }
+
+// qpair is a priority-queue element: a pair of items and its ordering key
+// (the minimum distance between the items for forward joins; an upper
+// distance bound for reverse joins).
+type qpair struct {
+	key    float64
+	i1, i2 item
+}
+
+// rank orders pair kinds at equal distance: pairs of leaf entries before
+// pairs involving nodes (§2.2.2).
+func (p qpair) rank() int {
+	r := 0
+	if p.i1.isNode() {
+		r++
+	}
+	if p.i2.isNode() {
+		r++
+	}
+	return r
+}
+
+func (p qpair) levelSum() int { return int(p.i1.level) + int(p.i2.level) }
+
+// pairLess builds the queue ordering: ascending key (descending for
+// reverse), then leaf-entry pairs before node pairs, then — for equal
+// distances among node pairs — deeper nodes first (depth-first tie-breaking)
+// or shallower nodes first (breadth-first), and finally references for
+// determinism.
+func pairLess(depthFirst, reverse bool) func(a, b qpair) bool {
+	return func(a, b qpair) bool {
+		if a.key != b.key {
+			if reverse {
+				return a.key > b.key
+			}
+			return a.key < b.key
+		}
+		if ra, rb := a.rank(), b.rank(); ra != rb {
+			return ra < rb
+		}
+		if la, lb := a.levelSum(), b.levelSum(); la != lb {
+			if depthFirst {
+				return la < lb // deeper (smaller level) first
+			}
+			return la > lb // shallower first
+		}
+		if a.i1.ref != b.i1.ref {
+			return a.i1.ref < b.i1.ref
+		}
+		return a.i2.ref < b.i2.ref
+	}
+}
+
+// pairCodec serializes qpairs for the disk tier of the hybrid queue.
+type pairCodec struct{ dims int }
+
+// Size implements pqueue.Codec.
+func (c pairCodec) Size() int { return 8 + 4 + 4 + 8 + 8 + c.dims*4*8 }
+
+// Encode implements pqueue.Codec.
+func (c pairCodec) Encode(dst []byte, p qpair) {
+	binary.LittleEndian.PutUint64(dst[0:], math.Float64bits(p.key))
+	dst[8] = byte(p.i1.kind)
+	dst[9] = byte(p.i1.level)
+	dst[10] = byte(p.i2.kind)
+	dst[11] = byte(p.i2.level)
+	binary.LittleEndian.PutUint32(dst[12:], 0)
+	binary.LittleEndian.PutUint64(dst[16:], p.i1.ref)
+	binary.LittleEndian.PutUint64(dst[24:], p.i2.ref)
+	off := 32
+	for _, r := range []geom.Rect{p.i1.rect, p.i2.rect} {
+		for i := 0; i < c.dims; i++ {
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(r.Lo[i]))
+			off += 8
+		}
+		for i := 0; i < c.dims; i++ {
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(r.Hi[i]))
+			off += 8
+		}
+	}
+}
+
+// Decode implements pqueue.Codec.
+func (c pairCodec) Decode(src []byte) qpair {
+	var p qpair
+	p.key = math.Float64frombits(binary.LittleEndian.Uint64(src[0:]))
+	p.i1.kind = itemKind(src[8])
+	p.i1.level = int8(src[9])
+	p.i2.kind = itemKind(src[10])
+	p.i2.level = int8(src[11])
+	p.i1.ref = binary.LittleEndian.Uint64(src[16:])
+	p.i2.ref = binary.LittleEndian.Uint64(src[24:])
+	off := 32
+	for _, r := range []*geom.Rect{&p.i1.rect, &p.i2.rect} {
+		lo := make(geom.Point, c.dims)
+		hi := make(geom.Point, c.dims)
+		for i := 0; i < c.dims; i++ {
+			lo[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+			off += 8
+		}
+		for i := 0; i < c.dims; i++ {
+			hi[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+			off += 8
+		}
+		*r = geom.Rect{Lo: lo, Hi: hi}
+	}
+	return p
+}
+
+// Pair is one result tuple of a distance join: the two object ids, their
+// geometry, and their distance. Results are delivered in ascending (or, for
+// reverse joins, descending) order of Dist.
+type Pair struct {
+	Obj1, Obj2   rtree.ObjID
+	Rect1, Rect2 geom.Rect
+	Dist         float64
+}

@@ -1,0 +1,751 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the synthetic TIGER-like datasets of
+// internal/datagen. Each experiment function returns structured rows so the
+// cmd/experiments harness can print them and EXPERIMENTS.md can record
+// paper-vs-measured comparisons; bench_test.go wraps the same functions in
+// testing.B benchmarks.
+//
+// All experiments join Water (outer) with Roads (inner) except where noted,
+// exactly as in §4. Between runs the buffer pools are dropped so node I/O
+// counts are cold-cache comparable.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"distjoin/internal/baseline"
+	"distjoin/internal/datagen"
+	"distjoin/internal/distjoin"
+	"distjoin/internal/geom"
+	"distjoin/internal/pager"
+	"distjoin/internal/rtree"
+	"distjoin/internal/stats"
+)
+
+// Scale sizes an experiment run. Full reproduces the paper's cardinalities;
+// Small keeps CI fast while preserving the dataset shape.
+type Scale struct {
+	Name   string
+	WaterN int
+	RoadsN int
+	// PairCounts is the x-axis of Table 1 and Figures 6–10.
+	PairCounts []int
+	// HybridDT1 and HybridDT2 are the two D_T values of Figure 8 (the
+	// paper chose the distances of pairs №7,663 and №34,906; these are
+	// the corresponding orders of magnitude in our world units).
+	HybridDT1, HybridDT2 float64
+	// Seed makes data generation deterministic.
+	Seed int64
+}
+
+// Small is the default scale: ~1/10 of the paper's cardinalities.
+var Small = Scale{
+	Name:       "small",
+	WaterN:     4_000,
+	RoadsN:     20_000,
+	PairCounts: []int{1, 10, 100, 1_000, 10_000},
+	HybridDT1:  30,
+	HybridDT2:  120,
+	Seed:       1998,
+}
+
+// Full matches the paper's dataset sizes and pair counts.
+var Full = Scale{
+	Name:       "full",
+	WaterN:     datagen.PaperWaterSize,
+	RoadsN:     datagen.PaperRoadsSize,
+	PairCounts: []int{1, 10, 100, 1_000, 10_000, 100_000},
+	HybridDT1:  10,
+	HybridDT2:  40,
+	Seed:       1998,
+}
+
+// ScaleByName returns the named scale.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small", "":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("experiments: unknown scale %q (want small or full)", name)
+}
+
+// Datasets bundles the two indexed relations and a shared counter sink.
+type Datasets struct {
+	Scale    Scale
+	Water    *rtree.Tree
+	Roads    *rtree.Tree
+	Counters *stats.Counters
+}
+
+// treeConfig is the paper's §3.1 node/buffer configuration (see DESIGN.md
+// for the byte-size mapping).
+func treeConfig(c *stats.Counters) rtree.Config {
+	return rtree.Config{Dims: 2, PageSize: 2048, BufferFrames: 128, Counters: c}
+}
+
+// Load generates the datasets and bulk-loads both trees.
+func Load(s Scale) (*Datasets, error) { return LoadWithLatency(s, 0) }
+
+// LoadWithLatency builds the datasets over a simulated disk that charges
+// perIO of wall-clock time on every physical node read and write. The
+// default substrate counts I/O but performs it at memory speed, which
+// flattens the paper's wall-clock curves (its 1998 testbed was
+// I/O-dominated); a non-zero latency restores that cost model. I/O counts
+// are unaffected.
+func LoadWithLatency(s Scale, perIO time.Duration) (*Datasets, error) {
+	c := &stats.Counters{}
+	mkStore := func() (pager.Store, error) {
+		mem, err := pager.NewMemStore(treeConfig(nil).PageSize)
+		if err != nil {
+			return nil, err
+		}
+		if perIO > 0 {
+			return pager.NewLatencyStore(mem, perIO, perIO), nil
+		}
+		return mem, nil
+	}
+	buildTree := func(pts []geom.Point) (*rtree.Tree, error) {
+		cfg := treeConfig(c)
+		store, err := mkStore()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+		return datagen.BuildTree(cfg, pts)
+	}
+	water, err := buildTree(datagen.Water(s.Seed, s.WaterN))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building Water: %w", err)
+	}
+	roads, err := buildTree(datagen.Roads(s.Seed+1, s.RoadsN))
+	if err != nil {
+		water.Close()
+		return nil, fmt.Errorf("experiments: building Roads: %w", err)
+	}
+	return &Datasets{Scale: s, Water: water, Roads: roads, Counters: c}, nil
+}
+
+// Close releases both trees.
+func (d *Datasets) Close() {
+	d.Water.Close()
+	d.Roads.Close()
+}
+
+// reset drops buffer caches and attaches a fresh counter set for one run.
+func (d *Datasets) reset() (*stats.Counters, error) {
+	if err := d.Water.DropCache(); err != nil {
+		return nil, err
+	}
+	if err := d.Roads.DropCache(); err != nil {
+		return nil, err
+	}
+	c := &stats.Counters{}
+	d.Counters = c
+	d.Water.Pool().SetCounters(stats.NodeSink(c))
+	d.Roads.Pool().SetCounters(stats.NodeSink(c))
+	return c, nil
+}
+
+// Run captures one experiment leg: the measures of Table 1 plus wall time.
+type Run struct {
+	Label     string
+	Pairs     int // result pairs requested
+	Reported  int // result pairs actually produced
+	Time      time.Duration
+	DistCalcs int64
+	MaxQueue  int64
+	NodeIO    int64
+	LastDist  float64 // distance of the last reported pair
+}
+
+// runJoin executes an incremental distance join up to `pairs` results.
+func (d *Datasets) runJoin(label string, pairs int, opts distjoin.Options, reversedInputs bool) (Run, error) {
+	c, err := d.reset()
+	if err != nil {
+		return Run{}, err
+	}
+	opts.Counters = c
+	t1, t2 := d.Water, d.Roads
+	if reversedInputs {
+		t1, t2 = d.Roads, d.Water
+	}
+	start := time.Now()
+	j, err := distjoin.NewJoin(t1, t2, opts)
+	if err != nil {
+		return Run{}, err
+	}
+	defer j.Close()
+	r := Run{Label: label, Pairs: pairs}
+	for r.Reported < pairs {
+		p, ok, err := j.Next()
+		if err != nil {
+			return Run{}, err
+		}
+		if !ok {
+			break
+		}
+		r.Reported++
+		r.LastDist = p.Dist
+	}
+	r.Time = time.Since(start)
+	r.DistCalcs = c.DistCalcs
+	r.MaxQueue = c.MaxQueueSize
+	r.NodeIO = c.NodeIO()
+	return r, nil
+}
+
+// runSemi executes an incremental distance semi-join up to `pairs` results
+// (all when pairs <= 0).
+func (d *Datasets) runSemi(label string, pairs int, filter distjoin.SemiFilter, opts distjoin.Options, reversedInputs bool) (Run, error) {
+	c, err := d.reset()
+	if err != nil {
+		return Run{}, err
+	}
+	opts.Counters = c
+	t1, t2 := d.Water, d.Roads
+	if reversedInputs {
+		t1, t2 = d.Roads, d.Water
+	}
+	start := time.Now()
+	s, err := distjoin.NewSemiJoin(t1, t2, filter, opts)
+	if err != nil {
+		return Run{}, err
+	}
+	defer s.Close()
+	r := Run{Label: label, Pairs: pairs}
+	for pairs <= 0 || r.Reported < pairs {
+		p, ok, err := s.Next()
+		if err != nil {
+			return Run{}, err
+		}
+		if !ok {
+			break
+		}
+		r.Reported++
+		r.LastDist = p.Dist
+	}
+	r.Time = time.Since(start)
+	r.DistCalcs = c.DistCalcs
+	r.MaxQueue = c.MaxQueueSize
+	r.NodeIO = c.NodeIO()
+	return r, nil
+}
+
+// hybridOpts is the paper's default configuration for the distance join
+// experiments: hybrid queue, even traversal, depth-first ties.
+func (s Scale) hybridOpts() distjoin.Options {
+	return distjoin.Options{
+		Queue:          distjoin.QueueHybrid,
+		HybridDT:       s.HybridDT2,
+		HybridInMemory: true,
+	}
+}
+
+// Table1 reproduces Table 1: the measures of the DepthFirst/Even/one-node
+// variant for increasing result counts.
+func Table1(d *Datasets) ([]Run, error) {
+	out := make([]Run, 0, len(d.Scale.PairCounts))
+	for _, n := range d.Scale.PairCounts {
+		r, err := d.runJoin("Even/DepthFirst", n, d.Scale.hybridOpts(), false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table1Reversed reproduces the §4.1.1 observation that joining Roads with
+// Water behaves like Water with Roads for Even traversal but degrades for
+// Basic. The paper could not complete the Basic variant for the largest
+// result count ("too many pairs were generated for the priority queue to
+// fit on disk"); this harness reproduces the blow-up's onset but caps the
+// Basic sweep at 1,000 pairs so the run stays within laptop memory — the
+// queue-size column already tells the story.
+func Table1Reversed(d *Datasets) ([]Run, error) {
+	var out []Run
+	for _, variant := range []struct {
+		label    string
+		maxPairs int
+		opts     distjoin.Options
+	}{
+		{"Even(R⋈W)", 0, d.Scale.hybridOpts()},
+		{"Basic(R⋈W)", 1_000, func() distjoin.Options {
+			o := d.Scale.hybridOpts()
+			o.Traversal = distjoin.TraverseBasic
+			return o
+		}()},
+	} {
+		for _, n := range d.Scale.PairCounts {
+			if variant.maxPairs > 0 && n > variant.maxPairs {
+				continue
+			}
+			r, err := d.runJoin(variant.label, n, variant.opts, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Fig6 reproduces Figure 6: execution time of the four algorithm versions.
+func Fig6(d *Datasets) ([]Run, error) {
+	variants := []struct {
+		label     string
+		traversal distjoin.Traversal
+		tie       distjoin.TieBreak
+	}{
+		{"Even/DepthFirst", distjoin.TraverseEven, distjoin.DepthFirst},
+		{"Even/BreadthFirst", distjoin.TraverseEven, distjoin.BreadthFirst},
+		{"Basic/DepthFirst", distjoin.TraverseBasic, distjoin.DepthFirst},
+		{"Simultaneous/DepthFirst", distjoin.TraverseSimultaneous, distjoin.DepthFirst},
+	}
+	var out []Run
+	for _, v := range variants {
+		for _, n := range d.Scale.PairCounts {
+			opts := d.Scale.hybridOpts()
+			opts.Traversal = v.traversal
+			opts.TieBreak = v.tie
+			r, err := d.runJoin(v.label, n, opts, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Fig7 reproduces Figure 7: the effect of a known maximum distance
+// ("MaxDist k" = distance of the k-th closest pair) and of a maximum pair
+// count ("MaxPair k", which estimates the maximum distance per §2.2.4),
+// against the regular algorithm.
+func Fig7(d *Datasets) ([]Run, error) {
+	counts := d.Scale.PairCounts
+	var out []Run
+	// Regular.
+	for _, n := range counts {
+		r, err := d.runJoin("Regular", n, d.Scale.hybridOpts(), false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	// Determine the distances of the reference pairs by running once to
+	// the largest count.
+	kRefs := refCounts(counts)
+	distOf := map[int]float64{}
+	probe, err := d.runJoinCollect(maxInt(kRefs), kRefs)
+	if err != nil {
+		return nil, err
+	}
+	for k, dist := range probe {
+		distOf[k] = dist
+	}
+	// MaxDist variants: set the true k-th distance as the maximum and
+	// compute up to k pairs.
+	for _, k := range kRefs {
+		label := fmt.Sprintf("MaxDist %d", k)
+		for _, n := range counts {
+			if n > k {
+				continue
+			}
+			opts := d.Scale.hybridOpts()
+			opts.MaxDist = distOf[k]
+			r, err := d.runJoin(label, n, opts, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	// MaxPair variants: bound the number of pairs, activating estimation.
+	for _, k := range kRefs[:len(kRefs)-1] {
+		label := fmt.Sprintf("MaxPair %d", k)
+		for _, n := range counts {
+			if n > k {
+				continue
+			}
+			opts := d.Scale.hybridOpts()
+			opts.MaxPairs = k
+			r, err := d.runJoin(label, n, opts, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// refCounts picks the reference counts for MaxDist/MaxPair sweeps: the
+// largest three pair counts of the scale.
+func refCounts(counts []int) []int {
+	if len(counts) <= 3 {
+		return counts
+	}
+	return counts[len(counts)-3:]
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// runJoinCollect runs a plain join up to `limit` pairs and returns the
+// distances at the requested ranks.
+func (d *Datasets) runJoinCollect(limit int, ranks []int) (map[int]float64, error) {
+	want := map[int]bool{}
+	for _, r := range ranks {
+		want[r] = true
+	}
+	c, err := d.reset()
+	if err != nil {
+		return nil, err
+	}
+	opts := d.Scale.hybridOpts()
+	opts.Counters = c
+	j, err := distjoin.NewJoin(d.Water, d.Roads, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	out := map[int]float64{}
+	for i := 1; i <= limit; i++ {
+		p, ok, err := j.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if want[i] {
+			out[i] = p.Dist
+		}
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: the memory-only queue against the hybrid queue
+// with two D_T values, plus (an ablation beyond the paper) the adaptive-D_T
+// mode.
+func Fig8(d *Datasets) ([]Run, error) {
+	variants := []struct {
+		label string
+		opts  distjoin.Options
+	}{
+		{"Memory", distjoin.Options{Queue: distjoin.QueueMemory}},
+		{"Hybrid1", distjoin.Options{Queue: distjoin.QueueHybrid, HybridDT: d.Scale.HybridDT1, HybridInMemory: true}},
+		{"Hybrid2", distjoin.Options{Queue: distjoin.QueueHybrid, HybridDT: d.Scale.HybridDT2, HybridInMemory: true}},
+		{"HybridAdaptive", distjoin.Options{Queue: distjoin.QueueHybrid, HybridInMemory: true}},
+	}
+	var out []Run
+	for _, v := range variants {
+		for _, n := range d.Scale.PairCounts {
+			r, err := d.runJoin(v.label, n, v.opts, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Fig9 reproduces Figure 9: semi-join filtering strategies. The "Outside"
+// row is restricted exactly as in the paper: without inside filtering, a
+// request approaching the full result degenerates into computing an
+// unbounded prefix of the distance join, and "the priority queue became too
+// large ... beyond 10,000 pairs", so Outside runs only the counts below
+// outsideCap.
+func Fig9(d *Datasets) ([]Run, error) {
+	filters := []distjoin.SemiFilter{
+		distjoin.FilterOutside,
+		distjoin.FilterInside1,
+		distjoin.FilterInside2,
+		distjoin.FilterLocal,
+		distjoin.FilterGlobalNodes,
+		distjoin.FilterGlobalAll,
+	}
+	const outsideCap = 10_000
+	var out []Run
+	counts := append(append([]int{}, d.Scale.PairCounts...), 0) // 0 = all
+	for _, f := range filters {
+		for _, n := range counts {
+			// A request at or beyond the result cardinality runs Outside to
+			// exhaustion — the unbounded case.
+			if f == distjoin.FilterOutside && (n == 0 || n > outsideCap || n >= d.Water.Len()) {
+				continue
+			}
+			// For the other filters, a count beyond the result cardinality
+			// duplicates the (all) leg; skip it.
+			if f != distjoin.FilterOutside && n > 0 && n >= d.Water.Len() {
+				continue
+			}
+			r, err := d.runSemi(f.String(), n, f, d.Scale.hybridOpts(), false)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				r.Label += " (all)"
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Fig10 reproduces Figure 10: the effect of maximum distance and maximum
+// pairs on the semi-join ("Local" variant, as in §4.2.2).
+func Fig10(d *Datasets) ([]Run, error) {
+	var out []Run
+	counts := make([]int, 0, len(d.Scale.PairCounts))
+	for _, n := range d.Scale.PairCounts {
+		if n < d.Water.Len() {
+			counts = append(counts, n)
+		}
+	}
+	for _, n := range counts {
+		r, err := d.runSemi("Regular", n, distjoin.FilterLocal, d.Scale.hybridOpts(), false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	// Full-result run gives both the total count and the maximum semi-join
+	// distance ("MaxDist All").
+	full, err := d.runSemi("Regular (all)", 0, distjoin.FilterLocal, d.Scale.hybridOpts(), false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, full)
+
+	kRefs := refCounts(counts)
+	// Probe the k-th semi-join distances.
+	distOf, err := d.runSemiCollect(maxInt(kRefs), kRefs)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kRefs {
+		label := fmt.Sprintf("MaxDist %d", k)
+		for _, n := range counts {
+			if n > k {
+				continue
+			}
+			opts := d.Scale.hybridOpts()
+			opts.MaxDist = distOf[k]
+			r, err := d.runSemi(label, n, distjoin.FilterLocal, opts, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	// MaxDist All: the largest distance in the full semi-join result.
+	{
+		opts := d.Scale.hybridOpts()
+		opts.MaxDist = full.LastDist
+		r, err := d.runSemi("MaxDist All", 0, distjoin.FilterLocal, opts, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	for _, k := range kRefs {
+		label := fmt.Sprintf("MaxPair %d", k)
+		for _, n := range counts {
+			if n > k {
+				continue
+			}
+			opts := d.Scale.hybridOpts()
+			opts.MaxPairs = k
+			r, err := d.runSemi(label, n, distjoin.FilterLocal, opts, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	// MaxPair All: upper bound set to the number of outer objects.
+	{
+		opts := d.Scale.hybridOpts()
+		opts.MaxPairs = d.Water.Len()
+		r, err := d.runSemi("MaxPair All", 0, distjoin.FilterLocal, opts, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func (d *Datasets) runSemiCollect(limit int, ranks []int) (map[int]float64, error) {
+	want := map[int]bool{}
+	for _, r := range ranks {
+		want[r] = true
+	}
+	c, err := d.reset()
+	if err != nil {
+		return nil, err
+	}
+	opts := d.Scale.hybridOpts()
+	opts.Counters = c
+	s, err := distjoin.NewSemiJoin(d.Water, d.Roads, distjoin.FilterLocal, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	out := map[int]float64{}
+	for i := 1; i <= limit; i++ {
+		p, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if want[i] {
+			out[i] = p.Dist
+		}
+	}
+	return out, nil
+}
+
+// Sec414 reproduces §4.1.4: the nested-loop alternative. It reports the
+// nested-loop scan (all pairwise distances, nothing stored) against the
+// incremental join producing the scale's largest pair count.
+func Sec414(d *Datasets) ([]Run, error) {
+	c, err := d.reset()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n, err := baseline.NestedLoopScanOnly(d.Water, d.Roads, baseline.Options{Counters: c})
+	if err != nil {
+		return nil, err
+	}
+	nl := Run{
+		Label:     "NestedLoop (scan only)",
+		Pairs:     int(math.Min(float64(n), math.MaxInt32)),
+		Reported:  0,
+		Time:      time.Since(start),
+		DistCalcs: c.DistCalcs,
+		NodeIO:    c.NodeIO(),
+	}
+	inc, err := d.runJoin("Incremental", maxInt(d.Scale.PairCounts), d.Scale.hybridOpts(), false)
+	if err != nil {
+		return nil, err
+	}
+	return []Run{nl, inc}, nil
+}
+
+// Sec423 reproduces §4.2.3: the full distance semi-join computed
+// incrementally (GlobalAll) versus the non-incremental
+// nearest-neighbour-per-object implementation, in both join orders.
+func Sec423(d *Datasets) ([]Run, error) {
+	var out []Run
+	for _, rev := range []bool{false, true} {
+		suffix := " (W⋉R)"
+		if rev {
+			suffix = " (R⋉W)"
+		}
+		inc, err := d.runSemi("GlobalAll"+suffix, 0, distjoin.FilterGlobalAll, d.Scale.hybridOpts(), rev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inc)
+
+		c, err := d.reset()
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := d.Water, d.Roads
+		if rev {
+			t1, t2 = d.Roads, d.Water
+		}
+		start := time.Now()
+		pairs, err := baseline.NNSemiJoin(t1, t2, baseline.Options{Counters: c})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Run{
+			Label:     "NN-per-object" + suffix,
+			Pairs:     len(pairs),
+			Reported:  len(pairs),
+			Time:      time.Since(start),
+			DistCalcs: c.DistCalcs,
+			MaxQueue:  c.MaxQueueSize,
+			NodeIO:    c.NodeIO(),
+		})
+	}
+	return out, nil
+}
+
+// DimSweep runs the distance join across dimensionalities — the "higher
+// dimensions" direction the paper's conclusion lists for further work (§5).
+// Each leg joins two clustered point sets of the scale's Water cardinality
+// in the unit hyper-cube and retrieves the scale's second-largest pair
+// count.
+func DimSweep(s Scale) ([]Run, error) {
+	pairTarget := s.PairCounts[len(s.PairCounts)-1]
+	if len(s.PairCounts) > 1 {
+		pairTarget = s.PairCounts[len(s.PairCounts)-2]
+	}
+	n := s.WaterN
+	var out []Run
+	for _, dims := range []int{2, 3, 4, 6} {
+		c := &stats.Counters{}
+		cfg := rtree.Config{Dims: dims, PageSize: 4096, BufferFrames: 128, Counters: c}
+		t1, err := datagen.BuildTree(cfg, datagen.ClusteredD(s.Seed+int64(dims), n, dims, 20, 0.03))
+		if err != nil {
+			return nil, err
+		}
+		t2, err := datagen.BuildTree(cfg, datagen.ClusteredD(s.Seed+int64(dims)+100, n, dims, 20, 0.03))
+		if err != nil {
+			t1.Close()
+			return nil, err
+		}
+		start := time.Now()
+		j, err := distjoin.NewJoin(t1, t2, distjoin.Options{Counters: c})
+		if err != nil {
+			t1.Close()
+			t2.Close()
+			return nil, err
+		}
+		r := Run{Label: fmt.Sprintf("%d-D", dims), Pairs: pairTarget}
+		for r.Reported < pairTarget {
+			p, ok, err := j.Next()
+			if err != nil {
+				j.Close()
+				t1.Close()
+				t2.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			r.Reported++
+			r.LastDist = p.Dist
+		}
+		r.Time = time.Since(start)
+		r.DistCalcs = c.DistCalcs
+		r.MaxQueue = c.MaxQueueSize
+		r.NodeIO = c.NodeIO()
+		out = append(out, r)
+		j.Close()
+		t1.Close()
+		t2.Close()
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// PrintRuns renders runs as an aligned table mirroring the paper's Table 1
+// columns: pairs requested, wall time, object distance calculations,
+// maximum queue size, node I/O.
+func PrintRuns(w io.Writer, title string, runs []Run) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tpairs\treported\ttime\tdist.calc\tqueue max\tnode I/O\tlast dist")
+	for _, r := range runs {
+		pairs := fmt.Sprintf("%d", r.Pairs)
+		if r.Pairs <= 0 {
+			pairs = "all"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%d\t%d\t%.2f\n",
+			r.Label, pairs, r.Reported, FormatDuration(r.Time), r.DistCalcs, r.MaxQueue, r.NodeIO, r.LastDist)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatDuration renders a duration with a granularity suited to its
+// magnitude, so microsecond and multi-second runs both read well.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// WriteJSON renders runs as a JSON document for plotting tools: one object
+// per run with the experiment id attached.
+func WriteJSON(w io.Writer, id string, runs []Run) error {
+	type row struct {
+		Experiment string  `json:"experiment"`
+		Variant    string  `json:"variant"`
+		Pairs      int     `json:"pairs_requested"`
+		Reported   int     `json:"pairs_reported"`
+		Seconds    float64 `json:"seconds"`
+		DistCalcs  int64   `json:"dist_calcs"`
+		QueueMax   int64   `json:"queue_max"`
+		NodeIO     int64   `json:"node_io"`
+		LastDist   float64 `json:"last_dist"`
+	}
+	rows := make([]row, len(runs))
+	for i, r := range runs {
+		rows[i] = row{
+			Experiment: id,
+			Variant:    r.Label,
+			Pairs:      r.Pairs,
+			Reported:   r.Reported,
+			Seconds:    r.Time.Seconds(),
+			DistCalcs:  r.DistCalcs,
+			QueueMax:   r.MaxQueue,
+			NodeIO:     r.NodeIO,
+			LastDist:   r.LastDist,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// SeriesByLabel groups runs into per-variant series ordered by pair count —
+// the shape of the paper's figures (one curve per variant).
+func SeriesByLabel(runs []Run) map[string][]Run {
+	out := map[string][]Run{}
+	for _, r := range runs {
+		out[r.Label] = append(out[r.Label], r)
+	}
+	for _, s := range out {
+		sort.Slice(s, func(i, j int) bool { return s[i].Pairs < s[j].Pairs })
+	}
+	return out
+}
+
+// Summary formats a one-line time comparison between two runs (used for the
+// §4.1.4 and §4.2.3 narratives).
+func Summary(a, b Run) string {
+	s := fmt.Sprintf("%s: %s vs %s: %s", a.Label, FormatDuration(a.Time), b.Label, FormatDuration(b.Time))
+	if b.Time > 0 {
+		s += fmt.Sprintf(" (ratio %.2fx)", float64(a.Time)/float64(b.Time))
+	}
+	return s
+}

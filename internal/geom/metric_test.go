@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMetricByName(t *testing.T) {
+	cases := map[string]Metric{
+		"euclidean": Euclidean, "l2": Euclidean,
+		"manhattan": Manhattan, "l1": Manhattan,
+		"chessboard": Chessboard, "chebyshev": Chessboard, "linf": Chessboard,
+	}
+	for name, want := range cases {
+		if got := MetricByName(name); got != want {
+			t.Errorf("MetricByName(%q) = %v", name, got)
+		}
+	}
+	if MetricByName("bogus") != nil {
+		t.Error("unknown metric should return nil")
+	}
+}
+
+func TestDist(t *testing.T) {
+	p, q := Pt(0, 0), Pt(3, 4)
+	if d := Euclidean.Dist(p, q); !almostEqual(d, 5) {
+		t.Errorf("euclidean = %g, want 5", d)
+	}
+	if d := Manhattan.Dist(p, q); !almostEqual(d, 7) {
+		t.Errorf("manhattan = %g, want 7", d)
+	}
+	if d := Chessboard.Dist(p, q); !almostEqual(d, 4) {
+		t.Errorf("chessboard = %g, want 4", d)
+	}
+}
+
+func TestDistZeroAndSymmetry(t *testing.T) {
+	for _, m := range []Metric{Euclidean, Manhattan, Chessboard} {
+		p, q := Pt(1.5, -2, 7), Pt(-3, 0.25, 9)
+		if d := m.Dist(p, p); d != 0 {
+			t.Errorf("%s: Dist(p,p) = %g", m.Name(), d)
+		}
+		if m.Dist(p, q) != m.Dist(q, p) {
+			t.Errorf("%s: Dist not symmetric", m.Name())
+		}
+	}
+}
+
+func TestMinDistPR(t *testing.T) {
+	r := R(Pt(0, 0), Pt(2, 2))
+	cases := []struct {
+		p    Point
+		want float64 // euclidean
+	}{
+		{Pt(1, 1), 0},   // inside
+		{Pt(2, 2), 0},   // on corner
+		{Pt(3, 1), 1},   // right of
+		{Pt(1, -2), 2},  // below
+		{Pt(5, 6), 5},   // diagonal 3-4-5
+		{Pt(-3, -4), 5}, // other diagonal
+	}
+	for _, c := range cases {
+		if got := Euclidean.MinDistPR(c.p, r); !almostEqual(got, c.want) {
+			t.Errorf("MinDistPR(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Manhattan.MinDistPR(Pt(5, 6), r); !almostEqual(got, 7) {
+		t.Errorf("manhattan MinDistPR = %g, want 7", got)
+	}
+	if got := Chessboard.MinDistPR(Pt(5, 6), r); !almostEqual(got, 4) {
+		t.Errorf("chessboard MinDistPR = %g, want 4", got)
+	}
+}
+
+func TestMinDistRects(t *testing.T) {
+	a := R(Pt(0, 0), Pt(2, 2))
+	cases := []struct {
+		b    Rect
+		want float64
+	}{
+		{R(Pt(1, 1), Pt(3, 3)), 0}, // overlap
+		{R(Pt(2, 2), Pt(3, 3)), 0}, // touch
+		{R(Pt(4, 0), Pt(5, 2)), 2}, // gap in x only
+		{R(Pt(5, 6), Pt(7, 8)), 5}, // diagonal 3-4-5
+		{R(Pt(-4, -5), Pt(-3, -4)), 5},
+	}
+	for _, c := range cases {
+		got := Euclidean.MinDist(a, c.b)
+		if !almostEqual(got, c.want) {
+			t.Errorf("MinDist(%v) = %g, want %g", c.b, got, c.want)
+		}
+		if got2 := Euclidean.MinDist(c.b, a); !almostEqual(got, got2) {
+			t.Errorf("MinDist not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestMaxDist(t *testing.T) {
+	a := R(Pt(0, 0), Pt(1, 1))
+	b := R(Pt(2, 2), Pt(3, 3))
+	// farthest corners: (0,0) and (3,3)
+	if got := Euclidean.MaxDist(a, b); !almostEqual(got, 3*math.Sqrt2) {
+		t.Errorf("MaxDist = %g, want %g", got, 3*math.Sqrt2)
+	}
+	if got := Manhattan.MaxDist(a, b); !almostEqual(got, 6) {
+		t.Errorf("manhattan MaxDist = %g, want 6", got)
+	}
+	// identical unit squares: farthest corners are opposite, dist sqrt(2)
+	if got := Euclidean.MaxDist(a, a); !almostEqual(got, math.Sqrt2) {
+		t.Errorf("MaxDist(a,a) = %g, want sqrt2", got)
+	}
+}
+
+func TestMaxDistPR(t *testing.T) {
+	r := R(Pt(0, 0), Pt(2, 2))
+	if got := Euclidean.MaxDistPR(Pt(0, 0), r); !almostEqual(got, 2*math.Sqrt2) {
+		t.Errorf("MaxDistPR corner = %g", got)
+	}
+	if got := Euclidean.MaxDistPR(Pt(1, 1), r); !almostEqual(got, math.Sqrt2) {
+		t.Errorf("MaxDistPR center = %g", got)
+	}
+	if got := Euclidean.MaxDistPR(Pt(-1, 1), r); !almostEqual(got, math.Sqrt(9+1)) {
+		t.Errorf("MaxDistPR outside = %g", got)
+	}
+}
+
+func TestMinMaxDistPRKnownValues(t *testing.T) {
+	// Unit square, query point left of it at the same height as the center.
+	r := R(Pt(1, 0), Pt(2, 1))
+	p := Pt(0, 0.5)
+	// Candidate fixing x at near face (x=1), y at far corner (y=0 or 1,
+	// both 0.5 away): sqrt(1 + 0.25). Candidate fixing y near (0.5 to
+	// either), x far (x=2): sqrt(4 + 0.25). Min is the first.
+	want := math.Sqrt(1.25)
+	if got := Euclidean.MinMaxDistPR(p, r); !almostEqual(got, want) {
+		t.Errorf("MinMaxDistPR = %g, want %g", got, want)
+	}
+}
+
+func TestMinMaxDistPRPointRect(t *testing.T) {
+	// Degenerate rect: MINMAXDIST equals plain distance.
+	p, q := Pt(1, 2), Pt(4, 6)
+	for _, m := range []Metric{Euclidean, Manhattan, Chessboard} {
+		if got, want := m.MinMaxDistPR(p, q.Rect()), m.Dist(p, q); !almostEqual(got, want) {
+			t.Errorf("%s: MinMaxDistPR degenerate = %g, want %g", m.Name(), got, want)
+		}
+	}
+}
+
+func TestMinMaxDistRectDegenerate(t *testing.T) {
+	// Both rects degenerate: equals point distance.
+	a, b := Pt(0, 0).Rect(), Pt(3, 4).Rect()
+	if got := Euclidean.MinMaxDist(a, b); !almostEqual(got, 5) {
+		t.Errorf("MinMaxDist degenerate = %g, want 5", got)
+	}
+	// One degenerate: equals MinMaxDistPR.
+	r := R(Pt(1, 0), Pt(2, 1))
+	p := Pt(0, 0.5)
+	if got, want := Euclidean.MinMaxDist(p.Rect(), r), Euclidean.MinMaxDistPR(p, r); !almostEqual(got, want) {
+		t.Errorf("MinMaxDist point/rect = %g, want %g", got, want)
+	}
+}
+
+func TestMinMaxDistOrdering(t *testing.T) {
+	a := R(Pt(0, 0), Pt(1, 2))
+	b := R(Pt(3, 1), Pt(5, 4))
+	mn := Euclidean.MinDist(a, b)
+	mm := Euclidean.MinMaxDist(a, b)
+	mx := Euclidean.MaxDist(a, b)
+	if !(mn <= mm && mm <= mx) {
+		t.Errorf("ordering violated: min %g, minmax %g, max %g", mn, mm, mx)
+	}
+}
+
+func TestLpGeneral(t *testing.T) {
+	if Lp(1) != Manhattan || Lp(2) != Euclidean || Lp(math.Inf(1)) != Chessboard {
+		t.Fatal("special orders do not coincide with named metrics")
+	}
+	m := Lp(3)
+	if m.Name() != "l3" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	// |3|^3 + |4|^3 = 27 + 64 = 91; 91^(1/3)
+	want := math.Cbrt(91)
+	if d := m.Dist(Pt(0, 0), Pt(3, 4)); !almostEqual(d, want) {
+		t.Fatalf("L3 dist = %g, want %g", d, want)
+	}
+	// Bracketing still holds for the general order.
+	a := R(Pt(0, 0), Pt(1, 1))
+	b := R(Pt(3, 2), Pt(5, 4))
+	if !(m.MinDist(a, b) <= m.MinMaxDist(a, b) && m.MinMaxDist(a, b) <= m.MaxDist(a, b)) {
+		t.Fatal("L3 bound ordering violated")
+	}
+}
+
+func TestLpPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lp(0.5) did not panic")
+		}
+	}()
+	Lp(0.5)
+}

@@ -1,0 +1,68 @@
+package geom
+
+import "math"
+
+// MinMaxDistPR implements the MINMAXDIST metric of Roussopoulos et al.
+// between a point and a minimal bounding rectangle (paper §2.2.3): because a
+// minimally-bounded object touches every face of its bounding rectangle, for
+// every face f of r the object has a point within max_{q∈f} d(p,q) of p, so
+//
+//	MINMAXDIST(p, r) = min over faces f of r of max_{q∈f} d(p, q)
+//
+// is an upper bound on the distance from p to the object bounded by r. The
+// minimum is always attained on one of the d "near" faces, which allows the
+// O(d²) closed form below: candidate k fixes dimension k at its nearer
+// boundary and all other dimensions at their farther boundary.
+func (m lpMetric) MinMaxDistPR(p Point, r Rect) float64 {
+	checkDim(len(p), len(r.Lo))
+	d := len(p)
+	near := make([]float64, d) // |p_k - nearer face coordinate|
+	far := make([]float64, d)  // |p_k - farther face coordinate|
+	for i := 0; i < d; i++ {
+		mid := (r.Lo[i] + r.Hi[i]) / 2
+		if p[i] <= mid {
+			near[i] = math.Abs(p[i] - r.Lo[i])
+			far[i] = math.Abs(p[i] - r.Hi[i])
+		} else {
+			near[i] = math.Abs(p[i] - r.Hi[i])
+			far[i] = math.Abs(p[i] - r.Lo[i])
+		}
+	}
+	best := math.Inf(1)
+	for k := 0; k < d; k++ {
+		cand := m.aggregate(func(i int) float64 {
+			if i == k {
+				return near[i]
+			}
+			return far[i]
+		}, d)
+		if cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+// MinMaxDist generalizes MINMAXDIST to two rectangles a and b, each minimally
+// bounding one object (paper §2.2.3). Each object touches every face of its
+// rectangle, so for any face f of a and any face g of b the two objects have
+// points p∈f and q∈g; in the worst case those points are the farthest-apart
+// points of the two faces, hence
+//
+//	MINMAXDIST(a, b) = min over faces f of a, g of b of MaxDist(f, g)
+//
+// is a sound upper bound on the distance between the two objects. For
+// degenerate (point) rectangles this reduces to MinMaxDistPR and ultimately
+// to Dist.
+func (m lpMetric) MinMaxDist(a, b Rect) float64 {
+	checkDim(len(a.Lo), len(b.Lo))
+	best := math.Inf(1)
+	for _, f := range a.Faces() {
+		for _, g := range b.Faces() {
+			if d := m.MaxDist(f, g); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,78 @@
+// Package geom provides d-dimensional points, hyper-rectangles and the
+// distance functions required by the incremental distance join algorithms of
+// Hjaltason & Samet (SIGMOD 1998): MINDIST, MAXDIST and MINMAXDIST under the
+// Euclidean, Manhattan and Chessboard metrics.
+//
+// All functions accept arbitrary dimensionality; operands of mismatched
+// dimension panic, since that is always a programming error.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a point in d-dimensional space. The slice length is the
+// dimensionality. Points are treated as immutable values; functions in this
+// package never modify their arguments.
+type Point []float64
+
+// Pt is a convenience constructor for a Point.
+func Pt(coords ...float64) Point { return Point(coords) }
+
+// Dim returns the dimensionality of p.
+func (p Point) Dim() int { return len(p) }
+
+// Clone returns a deep copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rect returns the degenerate rectangle containing exactly p.
+func (p Point) Rect() Rect { return Rect{Lo: p, Hi: p} }
+
+// String renders p as "(x, y, ...)".
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%g", c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// IsFinite reports whether all coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	for _, c := range p {
+		if math.IsInf(c, 0) || math.IsNaN(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkDim(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("geom: dimension mismatch: %d vs %d", a, b))
+	}
+}

@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPtAndDim(t *testing.T) {
+	p := Pt(1, 2, 3)
+	if p.Dim() != 3 {
+		t.Fatalf("Dim() = %d, want 3", p.Dim())
+	}
+	if p[0] != 1 || p[1] != 2 || p[2] != 3 {
+		t.Fatalf("coordinates wrong: %v", p)
+	}
+}
+
+func TestPointClone(t *testing.T) {
+	p := Pt(1, 2)
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+	if !p.Equal(Pt(1, 2)) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestPointEqual(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Pt(1, 2), Pt(1, 2), true},
+		{Pt(1, 2), Pt(2, 1), false},
+		{Pt(1, 2), Pt(1, 2, 3), false},
+		{Pt(), Pt(), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPointRect(t *testing.T) {
+	p := Pt(3, 4)
+	r := p.Rect()
+	if !r.IsPoint() || !r.Lo.Equal(p) || !r.Hi.Equal(p) {
+		t.Fatalf("Rect() = %v, want degenerate at %v", r, p)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt(1, 2.5).String(); s != "(1, 2.5)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPointIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if Pt(1, math.Inf(1)).IsFinite() {
+		t.Error("infinite point reported finite")
+	}
+	if Pt(math.NaN()).IsFinite() {
+		t.Error("NaN point reported finite")
+	}
+}
+
+func TestCheckDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Euclidean.Dist(Pt(1, 2), Pt(1, 2, 3))
+}

@@ -1,0 +1,293 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genPoint draws a point with coordinates in [-100, 100].
+func genPoint(r *rand.Rand, dim int) Point {
+	p := make(Point, dim)
+	for i := range p {
+		p[i] = r.Float64()*200 - 100
+	}
+	return p
+}
+
+// genRect draws a valid rectangle in [-100, 100]^dim.
+func genRect(r *rand.Rand, dim int) Rect {
+	a, b := genPoint(r, dim), genPoint(r, dim)
+	lo := make(Point, dim)
+	hi := make(Point, dim)
+	for i := 0; i < dim; i++ {
+		lo[i] = math.Min(a[i], b[i])
+		hi[i] = math.Max(a[i], b[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// genPointIn draws a point uniformly inside r.
+func genPointIn(rnd *rand.Rand, r Rect) Point {
+	p := make(Point, r.Dim())
+	for i := range p {
+		p[i] = r.Lo[i] + rnd.Float64()*(r.Hi[i]-r.Lo[i])
+	}
+	return p
+}
+
+var allMetrics = []Metric{Euclidean, Manhattan, Chessboard}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// Triangle inequality for the point metrics.
+func TestPropTriangleInequality(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(4)
+			p, q, s := genPoint(r, dim), genPoint(r, dim), genPoint(r, dim)
+			return m.Dist(p, q) <= m.Dist(p, s)+m.Dist(s, q)+1e-9
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// MinDist lower-bounds and MaxDist upper-bounds the distance between any two
+// contained points — the consistency property of paper §2.2 that guarantees
+// correctness of the incremental algorithm.
+func TestPropMinMaxDistBracketing(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(4)
+			a, b := genRect(r, dim), genRect(r, dim)
+			for k := 0; k < 10; k++ {
+				p, q := genPointIn(r, a), genPointIn(r, b)
+				d := m.Dist(p, q)
+				if d < m.MinDist(a, b)-1e-9 || d > m.MaxDist(a, b)+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// MinDistPR agrees with MinDist on a degenerate rect, and MaxDistPR with
+// MaxDist.
+func TestPropPointRectAgreesWithRectRect(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(4)
+			p := genPoint(r, dim)
+			b := genRect(r, dim)
+			return almostEqual(m.MinDistPR(p, b), m.MinDist(p.Rect(), b)) &&
+				almostEqual(m.MaxDistPR(p, b), m.MaxDist(p.Rect(), b))
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// MinDist is monotone under union: growing a rectangle can only decrease its
+// minimum distance to anything — the property that makes parent/child queue
+// ordering consistent.
+func TestPropMinDistMonotoneUnderUnion(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(4)
+			child, sibling, other := genRect(r, dim), genRect(r, dim), genRect(r, dim)
+			parent := child.Union(sibling)
+			return m.MinDist(parent, other) <= m.MinDist(child, other)+1e-9
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// MINMAXDIST soundness: for an object (point set) touching every face of its
+// minimal bounding rect, some object point lies within MinMaxDistPR of the
+// query point.
+func TestPropMinMaxDistPRSound(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(3)
+			b := genRect(r, dim)
+			// Build an object touching all faces: one random point per face.
+			var obj []Point
+			for _, face := range b.Faces() {
+				obj = append(obj, genPointIn(r, face))
+			}
+			p := genPoint(r, dim)
+			bound := m.MinMaxDistPR(p, b)
+			best := math.Inf(1)
+			for _, o := range obj {
+				if d := m.Dist(p, o); d < best {
+					best = d
+				}
+			}
+			return best <= bound+1e-9
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// Rect-rect MINMAXDIST soundness: for two objects each touching all faces of
+// their minimal bounding rects, the closest pair of object points is within
+// MinMaxDist.
+func TestPropMinMaxDistRectSound(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(3)
+			ra, rb := genRect(r, dim), genRect(r, dim)
+			var oa, ob []Point
+			for _, face := range ra.Faces() {
+				oa = append(oa, genPointIn(r, face))
+			}
+			for _, face := range rb.Faces() {
+				ob = append(ob, genPointIn(r, face))
+			}
+			bound := m.MinMaxDist(ra, rb)
+			best := math.Inf(1)
+			for _, p := range oa {
+				for _, q := range ob {
+					if d := m.Dist(p, q); d < best {
+						best = d
+					}
+				}
+			}
+			return best <= bound+1e-9
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// MinDist(a, b) == 0 exactly when a and b intersect.
+func TestPropMinDistZeroIffIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(4)
+		a, b := genRect(r, dim), genRect(r, dim)
+		zero := Euclidean.MinDist(a, b) == 0
+		return zero == a.Intersects(b)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Union contains both operands; intersection (when non-empty) is contained
+// in both.
+func TestPropUnionIntersectionContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(4)
+		a, b := genRect(r, dim), genRect(r, dim)
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		if x, ok := a.Intersection(b); ok {
+			return a.Contains(x) && b.Contains(x)
+		}
+		return !a.Intersects(b)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ordering MinDist <= MinMaxDist <= MaxDist holds for all rect pairs.
+func TestPropDistanceBoundsOrdered(t *testing.T) {
+	for _, m := range allMetrics {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			dim := 1 + r.Intn(3)
+			a, b := genRect(r, dim), genRect(r, dim)
+			mn, mm, mx := m.MinDist(a, b), m.MinMaxDist(a, b), m.MaxDist(a, b)
+			return mn <= mm+1e-9 && mm <= mx+1e-9
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// BoundingRect of a point set contains every point and is minimal: each
+// face touches at least one point.
+func TestPropBoundingRectMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(4)
+		n := 1 + r.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = genPoint(r, dim)
+		}
+		bb := BoundingRect(pts)
+		for _, p := range pts {
+			if !bb.ContainsPoint(p) {
+				return false
+			}
+		}
+		for i := 0; i < dim; i++ {
+			loTouched, hiTouched := false, false
+			for _, p := range pts {
+				if p[i] == bb.Lo[i] {
+					loTouched = true
+				}
+				if p[i] == bb.Hi[i] {
+					hiTouched = true
+				}
+			}
+			if !loTouched || !hiTouched {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lp distances are monotone non-increasing in p for fixed points.
+func TestPropLpMonotoneInOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(4)
+		p, q := genPoint(r, dim), genPoint(r, dim)
+		d1 := Manhattan.Dist(p, q)
+		d2 := Euclidean.Dist(p, q)
+		d3 := Lp(3).Dist(p, q)
+		dInf := Chessboard.Dist(p, q)
+		return d1 >= d2-1e-9 && d2 >= d3-1e-9 && d3 >= dInf-1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

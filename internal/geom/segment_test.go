@@ -1,0 +1,138 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(3, 4))
+	if s.Length() != 5 {
+		t.Fatalf("Length = %g", s.Length())
+	}
+	if !s.At(0).Equal(Pt(0, 0)) || !s.At(1).Equal(Pt(3, 4)) {
+		t.Fatal("At endpoints wrong")
+	}
+	if !s.BBox().Equal(R(Pt(0, 0), Pt(3, 4))) {
+		t.Fatalf("BBox = %v", s.BBox())
+	}
+	// Reversed endpoints still produce a valid bbox.
+	rev := Seg(Pt(3, 4), Pt(0, 0))
+	if !rev.BBox().Equal(R(Pt(0, 0), Pt(3, 4))) {
+		t.Fatalf("reversed BBox = %v", rev.BBox())
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},  // above the middle
+		{Pt(-4, 3), 5}, // before A: 3-4-5
+		{Pt(13, 4), 5}, // past B
+		{Pt(7, 0), 0},  // on the segment
+		{Pt(0, 0), 0},  // endpoint
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); !almostEqual(got, c.want) {
+			t.Errorf("DistToPoint(%v) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment behaves as a point.
+	pt := Seg(Pt(2, 2), Pt(2, 2))
+	if got := pt.DistToPoint(Pt(5, 6)); !almostEqual(got, 5) {
+		t.Errorf("degenerate DistToPoint = %g", got)
+	}
+}
+
+func TestSegmentDistKnownCases(t *testing.T) {
+	cases := []struct {
+		s1, s2 Segment
+		want   float64
+	}{
+		// Crossing segments.
+		{Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0)), 0},
+		// Touching at an endpoint.
+		{Seg(Pt(0, 0), Pt(5, 5)), Seg(Pt(5, 5), Pt(9, 2)), 0},
+		// Parallel horizontal, vertical gap 3.
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(2, 3), Pt(8, 3)), 3},
+		// Parallel but offset along the axis: nearest endpoints (10,0)-(12,0).
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(12, 0), Pt(20, 0)), 2},
+		// Collinear overlapping.
+		{Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(15, 0)), 0},
+		// Skew in 3-D: unit segments along x and y at z distance 4.
+		{Seg(Pt(0, 0, 0), Pt(1, 0, 0)), Seg(Pt(0, 0, 4), Pt(0, 1, 4)), 4},
+		// Both degenerate.
+		{Seg(Pt(1, 1), Pt(1, 1)), Seg(Pt(4, 5), Pt(4, 5)), 5},
+		// One degenerate.
+		{Seg(Pt(0, 3), Pt(0, 3)), Seg(Pt(-5, 0), Pt(5, 0)), 3},
+	}
+	for i, c := range cases {
+		if got := SegmentDist(c.s1, c.s2); !almostEqual(got, c.want) {
+			t.Errorf("case %d: SegmentDist = %g, want %g", i, got, c.want)
+		}
+		if got := SegmentDist(c.s2, c.s1); !almostEqual(got, c.want) {
+			t.Errorf("case %d: SegmentDist not symmetric", i)
+		}
+	}
+}
+
+// Property: SegmentDist matches a dense parametric sampling lower bound and
+// never exceeds any sampled pair distance.
+func TestPropSegmentDistMatchesSampling(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		dim := 2 + rnd.Intn(2)
+		randSeg := func() Segment {
+			a := make(Point, dim)
+			b := make(Point, dim)
+			for i := 0; i < dim; i++ {
+				a[i] = rnd.Float64()*20 - 10
+				b[i] = rnd.Float64()*20 - 10
+			}
+			return Segment{A: a, B: b}
+		}
+		s1, s2 := randSeg(), randSeg()
+		got := SegmentDist(s1, s2)
+		const steps = 60
+		sampled := math.Inf(1)
+		for i := 0; i <= steps; i++ {
+			p := s1.At(float64(i) / steps)
+			for j := 0; j <= steps; j++ {
+				q := s2.At(float64(j) / steps)
+				if d := Euclidean.Dist(p, q); d < sampled {
+					sampled = d
+				}
+			}
+		}
+		// The true minimum is <= any sample; the sample grid is within
+		// (len1+len2)/steps of the true minimum.
+		slack := (s1.Length() + s2.Length()) / steps
+		return got <= sampled+1e-9 && sampled <= got+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the MINDIST of the bounding boxes lower-bounds the segment
+// distance — the consistency the OBR join mode relies on.
+func TestPropSegmentBBoxConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		randSeg := func() Segment {
+			return Seg(
+				Pt(rnd.Float64()*100, rnd.Float64()*100),
+				Pt(rnd.Float64()*100, rnd.Float64()*100))
+		}
+		s1, s2 := randSeg(), randSeg()
+		return Euclidean.MinDist(s1.BBox(), s2.BBox()) <= SegmentDist(s1, s2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

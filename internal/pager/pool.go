@@ -1,0 +1,236 @@
+package pager
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// ErrAllPinned is returned when every frame in the pool is pinned and a new
+// page must be brought in.
+var ErrAllPinned = errors.New("pager: all buffer frames are pinned")
+
+// IOCounter receives physical I/O accounting from a Pool. A nil IOCounter
+// is valid and records nothing. The stats package provides adapters that
+// route a pool's I/O into either the node-I/O or the queue-I/O columns of
+// the experiment counters — the paper accounts R-tree node I/O (Table 1)
+// separately from the hybrid priority queue's disk traffic.
+type IOCounter interface {
+	// AddRead records n physical page reads (buffer misses).
+	AddRead(n int64)
+	// AddWrite records n physical page writes.
+	AddWrite(n int64)
+	// AddHit records n accesses served from the buffer.
+	AddHit(n int64)
+}
+
+// Frame is a buffer-pool slot holding one page. Callers access page bytes
+// through Data and must call Pool.Unpin exactly once per Get/Allocate.
+type Frame struct {
+	id      PageID
+	data    []byte
+	dirty   bool
+	pins    int
+	lruElem *list.Element
+}
+
+// ID returns the page this frame holds.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page bytes. The slice is valid only while the frame is
+// pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the page bytes were modified and must be written
+// back on eviction or flush.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Pool is an LRU buffer pool over a Store. It counts physical reads and
+// writes into a stats.Counters, which is how the reproduction measures the
+// paper's "node I/O" column. Not safe for concurrent use.
+type Pool struct {
+	store    Store
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // unpinned frames, front = most recently used
+	counters IOCounter
+}
+
+// NewPool creates a pool of capacity frames over store. The paper's 256 KiB
+// buffer over 1 KiB pages corresponds to capacity 256. counters may be nil.
+func NewPool(store Store, capacity int, counters IOCounter) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("pager: pool capacity must be positive, got %d", capacity)
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+		counters: counters,
+	}, nil
+}
+
+// Store returns the underlying page store.
+func (p *Pool) Store() Store { return p.store }
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Resident returns the number of pages currently buffered.
+func (p *Pool) Resident() int { return len(p.frames) }
+
+// Get pins the page into a frame, reading it from the store on a miss.
+func (p *Pool) Get(id PageID) (*Frame, error) {
+	if f, ok := p.frames[id]; ok {
+		if p.counters != nil {
+			p.counters.AddHit(1)
+		}
+		p.pin(f)
+		return f, nil
+	}
+	f, err := p.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.store.ReadPage(id, f.data); err != nil {
+		p.discard(f)
+		return nil, err
+	}
+	if p.counters != nil {
+		p.counters.AddRead(1)
+	}
+	return f, nil
+}
+
+// Allocate creates a new page in the store and returns it pinned. The fresh
+// page is zeroed and marked dirty so it reaches the store on eviction.
+func (p *Pool) Allocate() (*Frame, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.admit(id)
+	if err != nil {
+		// Roll back the allocation so the store does not leak a page.
+		p.store.Free(id)
+		return nil, err
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// admit finds a frame for id (evicting if needed) and pins it. The frame
+// data is zeroed.
+func (p *Pool) admit(id PageID) (*Frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, p.store.PageSize()), pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+func (p *Pool) pin(f *Frame) {
+	f.pins++
+	if f.lruElem != nil {
+		p.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+}
+
+// Unpin releases one pin on f. When the pin count reaches zero the frame
+// becomes eligible for eviction.
+func (p *Pool) Unpin(f *Frame) {
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of unpinned frame %d", f.id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = p.lru.PushFront(f)
+	}
+}
+
+// evictOne writes back and drops the least recently used unpinned frame.
+func (p *Pool) evictOne() error {
+	e := p.lru.Back()
+	if e == nil {
+		return ErrAllPinned
+	}
+	f := e.Value.(*Frame)
+	if f.dirty {
+		if err := p.store.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		if p.counters != nil {
+			p.counters.AddWrite(1)
+		}
+	}
+	p.lru.Remove(e)
+	delete(p.frames, f.id)
+	return nil
+}
+
+// discard drops a pinned frame without write-back (used on failed reads).
+func (p *Pool) discard(f *Frame) {
+	delete(p.frames, f.id)
+}
+
+// Drop removes the page from the pool without write-back and frees it in the
+// store. The page must not be pinned.
+func (p *Pool) Drop(id PageID) error {
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			return fmt.Errorf("pager: dropping pinned page %d", id)
+		}
+		if f.lruElem != nil {
+			p.lru.Remove(f.lruElem)
+		}
+		delete(p.frames, id)
+	}
+	return p.store.Free(id)
+}
+
+// FlushAll writes back every dirty frame (pinned or not) without evicting.
+func (p *Pool) FlushAll() error {
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.store.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			if p.counters != nil {
+				p.counters.AddWrite(1)
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Reset flushes every dirty frame and empties the pool, so subsequent
+// accesses start from a cold buffer — used by the experiment harness to make
+// node I/O counts comparable across runs that share a tree. It fails if any
+// frame is pinned.
+func (p *Pool) Reset() error {
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("pager: reset with pinned page %d", f.id)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	p.frames = make(map[PageID]*Frame, p.capacity)
+	p.lru.Init()
+	return nil
+}
+
+// SetCounters swaps the counter sink, returning the previous one. This lets
+// an experiment attach fresh counters to an already-built tree.
+func (p *Pool) SetCounters(c IOCounter) IOCounter {
+	old := p.counters
+	p.counters = c
+	return old
+}

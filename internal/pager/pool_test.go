@@ -1,0 +1,273 @@
+package pager
+
+import "testing"
+
+// testCounter is a minimal IOCounter for pool tests (the stats package
+// cannot be imported here without a cycle).
+type testCounter struct {
+	NodeReads  int64
+	NodeWrites int64
+	BufferHits int64
+}
+
+func (c *testCounter) AddRead(n int64)  { c.NodeReads += n }
+func (c *testCounter) AddWrite(n int64) { c.NodeWrites += n }
+func (c *testCounter) AddHit(n int64)   { c.BufferHits += n }
+
+func (c *testCounter) NodeIO() int64 { return c.NodeReads + c.NodeWrites }
+
+func newTestPool(t *testing.T, capacity int) (*Pool, *testCounter) {
+	t.Helper()
+	s, err := NewMemStore(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &testCounter{}
+	p, err := NewPool(s, capacity, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
+func TestPoolGetCountsIO(t *testing.T) {
+	p, c := newTestPool(t, 4)
+	f, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	f.Data()[0] = 42
+	f.MarkDirty()
+	p.Unpin(f)
+
+	// A re-get while resident is a buffer hit, not a read.
+	f2, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Data()[0] != 42 {
+		t.Fatal("lost write")
+	}
+	p.Unpin(f2)
+	if c.NodeReads != 0 || c.BufferHits != 1 {
+		t.Fatalf("reads=%d hits=%d, want 0/1", c.NodeReads, c.BufferHits)
+	}
+}
+
+func TestPoolEvictionWritesBackDirty(t *testing.T) {
+	p, c := newTestPool(t, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		f, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i + 1)
+		f.MarkDirty()
+		ids = append(ids, f.ID())
+		p.Unpin(f)
+	}
+	// Page 1 must have been evicted (LRU) and written back.
+	if c.NodeWrites == 0 {
+		t.Fatal("expected write-back on eviction")
+	}
+	f, err := p.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data()[0] != 1 {
+		t.Fatalf("evicted page lost data: %d", f.Data()[0])
+	}
+	p.Unpin(f)
+	if c.NodeReads == 0 {
+		t.Fatal("expected physical read after eviction")
+	}
+}
+
+func TestPoolLRUOrder(t *testing.T) {
+	p, _ := newTestPool(t, 2)
+	f1, _ := p.Allocate()
+	f2, _ := p.Allocate()
+	id1, id2 := f1.ID(), f2.ID()
+	p.Unpin(f1)
+	p.Unpin(f2)
+	// Touch page 1 so page 2 becomes LRU.
+	f, _ := p.Get(id1)
+	p.Unpin(f)
+	// Bringing in a third page must evict page 2, keeping page 1 resident.
+	f3, _ := p.Allocate()
+	p.Unpin(f3)
+	c := &testCounter{}
+	p.SetCounters(c)
+	f, err := p.Get(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f)
+	if c.BufferHits != 1 {
+		t.Fatal("page 1 should still be resident")
+	}
+	f, _ = p.Get(id2)
+	p.Unpin(f)
+	if c.NodeReads != 1 {
+		t.Fatal("page 2 should have been evicted")
+	}
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	p, _ := newTestPool(t, 2)
+	f1, _ := p.Allocate()
+	f2, _ := p.Allocate()
+	if _, err := p.Allocate(); err != ErrAllPinned {
+		t.Fatalf("expected ErrAllPinned, got %v", err)
+	}
+	p.Unpin(f1)
+	p.Unpin(f2)
+	if _, err := p.Allocate(); err != nil {
+		t.Fatalf("allocate after unpin failed: %v", err)
+	}
+}
+
+func TestPoolPinNesting(t *testing.T) {
+	p, _ := newTestPool(t, 2)
+	f, _ := p.Allocate()
+	id := f.ID()
+	f2, err := p.Get(id) // second pin on same frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Fatal("expected same frame for same page")
+	}
+	p.Unpin(f)
+	// Still pinned once; must not be evictable.
+	g1, _ := p.Allocate()
+	p.Unpin(g1)
+	if _, err := p.Allocate(); err != nil {
+		t.Fatalf("expected eviction of g1, got %v", err)
+	}
+	p.Unpin(f2)
+}
+
+func TestPoolUnpinPanicsWhenUnpinned(t *testing.T) {
+	p, _ := newTestPool(t, 2)
+	f, _ := p.Allocate()
+	p.Unpin(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double unpin")
+		}
+	}()
+	p.Unpin(f)
+}
+
+func TestPoolDrop(t *testing.T) {
+	p, _ := newTestPool(t, 4)
+	f, _ := p.Allocate()
+	id := f.ID()
+	p.Unpin(f)
+	if err := p.Drop(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(id); err == nil {
+		t.Fatal("get of dropped page succeeded")
+	}
+	// Dropping a pinned page must fail.
+	f2, _ := p.Allocate()
+	if err := p.Drop(f2.ID()); err == nil {
+		t.Fatal("drop of pinned page succeeded")
+	}
+	p.Unpin(f2)
+}
+
+func TestPoolFlushAll(t *testing.T) {
+	p, c := newTestPool(t, 4)
+	f, _ := p.Allocate()
+	f.Data()[0] = 7
+	f.MarkDirty()
+	id := f.ID()
+	p.Unpin(f)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeWrites == 0 {
+		t.Fatal("flush wrote nothing")
+	}
+	// Verify bytes reached the store.
+	buf := make([]byte, 64)
+	if err := p.Store().ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("flush did not persist data")
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	s, _ := NewMemStore(64)
+	if _, err := NewPool(s, 0, nil); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestPoolNilCounters(t *testing.T) {
+	s, _ := NewMemStore(64)
+	p, err := NewPool(s, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f)
+	// Force eviction path with nil counters.
+	for i := 0; i < 3; i++ {
+		g, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.MarkDirty()
+		p.Unpin(g)
+	}
+}
+
+func TestPoolCapacityResidentReset(t *testing.T) {
+	p, c := newTestPool(t, 4)
+	if p.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", p.Capacity())
+	}
+	f1, _ := p.Allocate()
+	f1.Data()[0] = 5
+	f1.MarkDirty()
+	id := f1.ID()
+	f2, _ := p.Allocate()
+	p.Unpin(f2)
+	if p.Resident() != 2 {
+		t.Fatalf("Resident = %d", p.Resident())
+	}
+	// Reset with a pinned frame must fail.
+	if err := p.Reset(); err == nil {
+		t.Fatal("Reset with pinned frame succeeded")
+	}
+	p.Unpin(f1)
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Fatalf("Resident after reset = %d", p.Resident())
+	}
+	if c.NodeWrites == 0 {
+		t.Fatal("Reset did not flush the dirty frame")
+	}
+	// Data survived the reset via write-back; next access is a cold read.
+	f, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data()[0] != 5 {
+		t.Fatal("reset lost data")
+	}
+	p.Unpin(f)
+}

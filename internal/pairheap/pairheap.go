@@ -1,0 +1,175 @@
+// Package pairheap implements a pairing heap (Fredman, Sedgewick, Sleator &
+// Tarjan), the priority-queue structure the paper chose for the memory tier
+// of its hybrid queue (§3.2, reference [13]). It supports O(1) amortized
+// insert and meld, O(log n) amortized delete-min, and arbitrary deletion and
+// key decrease through node handles — the last two are needed by the
+// maximum-distance estimation structure Q_M of §2.2.4, which must delete
+// pairs by identity.
+package pairheap
+
+// Heap is a pairing heap ordered by the provided less function. The zero
+// Heap is not usable; create one with New. Not safe for concurrent use.
+type Heap[T any] struct {
+	less func(a, b T) bool
+	root *Node[T]
+	size int
+}
+
+// Node is a handle to an element in the heap, usable with Delete and
+// DecreaseKey. A Node belongs to exactly one heap.
+type Node[T any] struct {
+	// Value is the element payload. The portion of the value that affects
+	// ordering must not be mutated except through DecreaseKey.
+	Value T
+
+	child, next, prev *Node[T] // prev is left sibling, or parent for first child
+}
+
+// New creates an empty heap ordered by less (a min-heap when less is "<").
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of elements.
+func (h *Heap[T]) Len() int { return h.size }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap[T]) Empty() bool { return h.size == 0 }
+
+// Min returns the node with the smallest value without removing it, or nil
+// when the heap is empty.
+func (h *Heap[T]) Min() *Node[T] { return h.root }
+
+// Insert adds value to the heap and returns its handle.
+func (h *Heap[T]) Insert(value T) *Node[T] {
+	n := &Node[T]{Value: value}
+	h.root = h.meld(h.root, n)
+	h.size++
+	return n
+}
+
+// PopMin removes and returns the smallest value. It panics on an empty heap.
+func (h *Heap[T]) PopMin() T {
+	if h.root == nil {
+		panic("pairheap: PopMin on empty heap")
+	}
+	n := h.root
+	h.root = h.mergePairs(n.child)
+	if h.root != nil {
+		h.root.prev = nil
+	}
+	h.size--
+	n.child, n.next, n.prev = nil, nil, nil
+	return n.Value
+}
+
+// Delete removes an arbitrary node from the heap. The node must belong to
+// this heap and must not have been removed already.
+func (h *Heap[T]) Delete(n *Node[T]) {
+	if n == h.root {
+		h.PopMin()
+		return
+	}
+	h.cut(n)
+	sub := h.mergePairs(n.child)
+	if sub != nil {
+		sub.prev = nil
+		h.root = h.meld(h.root, sub)
+	}
+	h.size--
+	n.child, n.next, n.prev = nil, nil, nil
+}
+
+// DecreaseKey restores heap order after n.Value was decreased (made to
+// compare less than, or equal to, its previous value). Increasing a key
+// through this method is invalid.
+func (h *Heap[T]) DecreaseKey(n *Node[T]) {
+	if n == h.root {
+		return
+	}
+	h.cut(n)
+	n.prev, n.next = nil, nil
+	h.root = h.meld(h.root, n)
+}
+
+// Meld moves all elements of other into h, leaving other empty. Both heaps
+// must use compatible orderings.
+func (h *Heap[T]) Meld(other *Heap[T]) {
+	if other == nil || other.root == nil {
+		return
+	}
+	h.root = h.meld(h.root, other.root)
+	h.size += other.size
+	other.root = nil
+	other.size = 0
+}
+
+// Clear removes all elements.
+func (h *Heap[T]) Clear() {
+	h.root = nil
+	h.size = 0
+}
+
+// cut detaches n (a non-root node) from its parent's child list.
+func (h *Heap[T]) cut(n *Node[T]) {
+	if n.prev.child == n { // n is the first child; prev is the parent
+		n.prev.child = n.next
+	} else {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+}
+
+// meld links two heap roots, returning the smaller as the new root.
+func (h *Heap[T]) meld(a, b *Node[T]) *Node[T] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if h.less(b.Value, a.Value) {
+		a, b = b, a
+	}
+	// b becomes the first child of a.
+	b.prev = a
+	b.next = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	a.next, a.prev = nil, nil
+	return a
+}
+
+// mergePairs performs the two-pass pairing of a sibling list, the heart of
+// delete-min.
+func (h *Heap[T]) mergePairs(first *Node[T]) *Node[T] {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: meld adjacent pairs left to right.
+	var pairs []*Node[T]
+	for n := first; n != nil; {
+		a := n
+		b := n.next
+		var rest *Node[T]
+		if b != nil {
+			rest = b.next
+		}
+		a.next, a.prev = nil, nil
+		if b != nil {
+			b.next, b.prev = nil, nil
+		}
+		pairs = append(pairs, h.meld(a, b))
+		n = rest
+	}
+	// Pass 2: meld right to left.
+	result := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		result = h.meld(result, pairs[i])
+	}
+	return result
+}

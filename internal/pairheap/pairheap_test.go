@@ -1,0 +1,215 @@
+package pairheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] { return New[int](func(a, b int) bool { return a < b }) }
+
+func TestEmptyHeap(t *testing.T) {
+	h := intHeap()
+	if !h.Empty() || h.Len() != 0 || h.Min() != nil {
+		t.Fatal("fresh heap not empty")
+	}
+}
+
+func TestPopMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	intHeap().PopMin()
+}
+
+func TestInsertPopSorted(t *testing.T) {
+	h := intHeap()
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, v := range in {
+		h.Insert(v)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for want := 0; want < len(in); want++ {
+		if got := h.PopMin(); got != want {
+			t.Fatalf("PopMin = %d, want %d", got, want)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := intHeap()
+	for i := 0; i < 10; i++ {
+		h.Insert(7)
+	}
+	for i := 0; i < 10; i++ {
+		if h.PopMin() != 7 {
+			t.Fatal("wrong duplicate value")
+		}
+	}
+}
+
+func TestMinIsSmallest(t *testing.T) {
+	h := intHeap()
+	h.Insert(5)
+	h.Insert(2)
+	h.Insert(8)
+	if h.Min().Value != 2 {
+		t.Fatalf("Min = %d, want 2", h.Min().Value)
+	}
+}
+
+func TestDeleteArbitrary(t *testing.T) {
+	h := intHeap()
+	var nodes []*Node[int]
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, h.Insert(i))
+	}
+	h.Delete(nodes[4])
+	h.Delete(nodes[0]) // the root
+	h.Delete(nodes[9])
+	want := []int{1, 2, 3, 5, 6, 7, 8}
+	if h.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(want))
+	}
+	for _, w := range want {
+		if got := h.PopMin(); got != w {
+			t.Fatalf("PopMin = %d, want %d", got, w)
+		}
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	type item struct{ key int }
+	h := New[*item](func(a, b *item) bool { return a.key < b.key })
+	n10 := h.Insert(&item{10})
+	h.Insert(&item{5})
+	h.Insert(&item{7})
+	n10.Value.key = 1
+	h.DecreaseKey(n10)
+	if got := h.PopMin().key; got != 1 {
+		t.Fatalf("PopMin after decrease = %d, want 1", got)
+	}
+	if got := h.PopMin().key; got != 5 {
+		t.Fatalf("second PopMin = %d, want 5", got)
+	}
+}
+
+func TestDecreaseKeyOnRoot(t *testing.T) {
+	type item struct{ key int }
+	h := New[*item](func(a, b *item) bool { return a.key < b.key })
+	n := h.Insert(&item{3})
+	h.Insert(&item{5})
+	n.Value.key = 1
+	h.DecreaseKey(n) // no-op path
+	if got := h.PopMin().key; got != 1 {
+		t.Fatalf("PopMin = %d", got)
+	}
+}
+
+func TestMeld(t *testing.T) {
+	a, b := intHeap(), intHeap()
+	for i := 0; i < 5; i++ {
+		a.Insert(2 * i)   // 0 2 4 6 8
+		b.Insert(2*i + 1) // 1 3 5 7 9
+	}
+	a.Meld(b)
+	if a.Len() != 10 || b.Len() != 0 {
+		t.Fatalf("lens after meld: %d, %d", a.Len(), b.Len())
+	}
+	for want := 0; want < 10; want++ {
+		if got := a.PopMin(); got != want {
+			t.Fatalf("PopMin = %d, want %d", got, want)
+		}
+	}
+	// Melding nil and empty heaps is a no-op.
+	a.Meld(nil)
+	a.Meld(intHeap())
+	if a.Len() != 0 {
+		t.Fatal("meld of empty changed len")
+	}
+}
+
+func TestClear(t *testing.T) {
+	h := intHeap()
+	h.Insert(1)
+	h.Insert(2)
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	h.Insert(3)
+	if h.PopMin() != 3 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+// Property: popping everything yields ascending order, interleaved with
+// random deletes, decreases and re-inserts.
+func TestPropHeapSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		type item struct{ key int }
+		h := New[*item](func(a, b *item) bool { return a.key < b.key })
+		live := make(map[*Node[*item]]bool)
+		n := 50 + rnd.Intn(200)
+		for i := 0; i < n; i++ {
+			node := h.Insert(&item{rnd.Intn(1000)})
+			live[node] = true
+			switch rnd.Intn(5) {
+			case 0: // delete a random live node
+				for v := range live {
+					h.Delete(v)
+					delete(live, v)
+					break
+				}
+			case 1: // decrease a random live node
+				for v := range live {
+					v.Value.key -= rnd.Intn(100)
+					h.DecreaseKey(v)
+					break
+				}
+			}
+		}
+		var got []int
+		for !h.Empty() {
+			got = append(got, h.PopMin().key)
+		}
+		if len(got) != len(live) {
+			return false
+		}
+		var want []int
+		for v := range live {
+			want = append(want, v.Value.key)
+		}
+		sort.Ints(want)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertPop(b *testing.B) {
+	h := intHeap()
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(rnd.Int())
+		if h.Len() > 1000 {
+			h.PopMin()
+		}
+	}
+}

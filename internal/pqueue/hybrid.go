@@ -1,0 +1,351 @@
+package pqueue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"distjoin/internal/pager"
+	"distjoin/internal/pairheap"
+	"distjoin/internal/stats"
+)
+
+// Codec serializes queue elements for the disk tier. Elements must have a
+// fixed encoded size (join pairs do: two rectangles, two references and a
+// few flags).
+type Codec[T any] interface {
+	// Size returns the fixed encoded size in bytes.
+	Size() int
+	// Encode writes v into dst, which is Size() bytes long.
+	Encode(dst []byte, v T)
+	// Decode reads an element from src, which is Size() bytes long.
+	Decode(src []byte) T
+}
+
+// HybridConfig configures a HybridQueue.
+type HybridConfig struct {
+	// DT is the fixed distance increment of the paper's scheme: the heap
+	// holds distances < D1, the list [D1, D2), disk buckets
+	// [k·DT, (k+1)·DT) beyond. Initially D1 = DT and D2 = 2·DT.
+	// Required unless Adaptive is set.
+	DT float64
+	// Adaptive, when set, derives DT from the distance distribution of the
+	// first AdaptiveSample insertions instead of requiring a tuned
+	// constant — the dynamic-partitioning direction the paper lists as
+	// future work (§5). Until DT is determined, all elements stay in the
+	// heap.
+	Adaptive bool
+	// AdaptiveSample is the number of insertions observed before fixing
+	// DT. Defaults to 4096.
+	AdaptiveSample int
+	// PageSize is the page size of the disk tier (default 4096).
+	PageSize int
+	// Dir is where the backing scratch file is created when Store is nil.
+	// Empty means the default temp directory. Set Store to use an
+	// in-memory "disk" (useful in tests and for deterministic benches).
+	Dir string
+	// Store overrides the disk-tier page store.
+	Store pager.Store
+	// Frames is the buffer-pool capacity for the disk tier (default 16).
+	Frames int
+	// Counters receives queue and spill accounting. May be nil.
+	Counters *stats.Counters
+}
+
+// HybridQueue is the paper's three-tier queue. The ordering is determined by
+// less; key extracts the distance used for tier placement. less must be
+// consistent with key: key(a) < key(b) implies less(a, b).
+type HybridQueue[T any] struct {
+	less  func(a, b T) bool
+	key   func(T) float64
+	codec Codec[T]
+	cfg   HybridConfig
+
+	heap *pairheap.Heap[T]
+	list []T
+	d1   float64
+	d2   float64
+
+	buckets  map[int]*bucket // disk tier, by distance bucket index
+	diskLen  int
+	pool     *pager.Pool
+	perPage  int
+	counters *stats.Counters
+
+	// adaptive-mode sampling
+	sampled []float64
+}
+
+// bucket is one linked page list of the disk tier.
+type bucket struct {
+	head  pager.PageID
+	count int // total elements in the bucket
+}
+
+const bucketHeaderSize = 8 // next page (4) + count (2) + pad (2)
+
+// NewHybridQueue creates a hybrid queue. See HybridConfig for knobs.
+func NewHybridQueue[T any](less func(a, b T) bool, key func(T) float64, codec Codec[T], cfg HybridConfig) (*HybridQueue[T], error) {
+	if cfg.DT <= 0 && !cfg.Adaptive {
+		return nil, errors.New("pqueue: DT must be positive (or Adaptive set)")
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.Frames == 0 {
+		cfg.Frames = 16
+	}
+	if cfg.AdaptiveSample == 0 {
+		cfg.AdaptiveSample = 4096
+	}
+	if codec.Size() > cfg.PageSize-bucketHeaderSize {
+		return nil, fmt.Errorf("pqueue: element size %d exceeds page payload %d",
+			codec.Size(), cfg.PageSize-bucketHeaderSize)
+	}
+	store := cfg.Store
+	if store == nil {
+		var err error
+		store, err = pager.NewFileStore(cfg.Dir, cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pool, err := pager.NewPool(store, cfg.Frames, stats.QueueSink(cfg.Counters))
+	if err != nil {
+		return nil, err
+	}
+	q := &HybridQueue[T]{
+		less:     less,
+		key:      key,
+		codec:    codec,
+		cfg:      cfg,
+		heap:     pairheap.New(less),
+		buckets:  make(map[int]*bucket),
+		pool:     pool,
+		perPage:  (cfg.PageSize - bucketHeaderSize) / codec.Size(),
+		counters: cfg.Counters,
+	}
+	if !cfg.Adaptive {
+		q.d1 = cfg.DT
+		q.d2 = 2 * cfg.DT
+	} else {
+		q.d1 = math.Inf(1)
+		q.d2 = math.Inf(1)
+	}
+	return q, nil
+}
+
+// DT returns the distance increment in effect (0 while an adaptive queue is
+// still sampling).
+func (q *HybridQueue[T]) DT() float64 { return q.cfg.DT }
+
+// Len implements Queue.
+func (q *HybridQueue[T]) Len() int { return q.heap.Len() + len(q.list) + q.diskLen }
+
+// Insert implements Queue.
+func (q *HybridQueue[T]) Insert(v T) error {
+	defer q.counters.QueueInsert(int64(q.Len() + 1))
+	d := q.key(v)
+	if q.cfg.Adaptive && q.cfg.DT == 0 {
+		q.sampled = append(q.sampled, d)
+		q.heap.Insert(v)
+		if len(q.sampled) >= q.cfg.AdaptiveSample {
+			return q.fixAdaptiveDT()
+		}
+		return nil
+	}
+	return q.place(v, d)
+}
+
+// place routes an element to the tier covering its distance.
+func (q *HybridQueue[T]) place(v T, d float64) error {
+	switch {
+	case d < q.d1:
+		q.heap.Insert(v)
+	case d < q.d2:
+		q.list = append(q.list, v)
+	default:
+		return q.spill(v, d)
+	}
+	return nil
+}
+
+// fixAdaptiveDT chooses DT so that roughly a quarter of the sampled
+// distances fall below D1, then re-tiers the sampled elements (which all
+// accumulated in the heap while sampling) into their proper tiers, since
+// correctness requires the heap to hold exactly the elements below D1.
+func (q *HybridQueue[T]) fixAdaptiveDT() error {
+	s := append([]float64(nil), q.sampled...)
+	sort.Float64s(s)
+	dt := s[len(s)/4]
+	if dt <= 0 {
+		// Degenerate distribution (everything at distance 0): fall back to
+		// the first positive sample, or keep the queue memory-only.
+		for _, v := range s {
+			if v > 0 {
+				dt = v
+				break
+			}
+		}
+		if dt <= 0 {
+			dt = 1
+		}
+	}
+	q.cfg.DT = dt
+	q.d1 = dt
+	q.d2 = 2 * dt
+	q.sampled = nil
+	// Re-tier everything accumulated during sampling.
+	pending := make([]T, 0, q.heap.Len())
+	for !q.heap.Empty() {
+		pending = append(pending, q.heap.PopMin())
+	}
+	for _, v := range pending {
+		if err := q.place(v, q.key(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spill appends v to the disk bucket covering distance d.
+func (q *HybridQueue[T]) spill(v T, d float64) error {
+	idx := int(d / q.cfg.DT)
+	b := q.buckets[idx]
+	if b == nil {
+		b = &bucket{}
+		q.buckets[idx] = b
+	}
+	size := q.codec.Size()
+	// Append into the head page if it has room; otherwise chain a new page.
+	if b.head != pager.InvalidPage {
+		f, err := q.pool.Get(b.head)
+		if err != nil {
+			return err
+		}
+		n := int(binary.LittleEndian.Uint16(f.Data()[4:]))
+		if n < q.perPage {
+			q.codec.Encode(f.Data()[bucketHeaderSize+n*size:], v)
+			binary.LittleEndian.PutUint16(f.Data()[4:], uint16(n+1))
+			f.MarkDirty()
+			q.pool.Unpin(f)
+			b.count++
+			q.diskLen++
+			q.counters.AddQueueDiskPair(1)
+			return nil
+		}
+		q.pool.Unpin(f)
+	}
+	f, err := q.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(f.Data()[0:], uint32(b.head))
+	binary.LittleEndian.PutUint16(f.Data()[4:], 1)
+	q.codec.Encode(f.Data()[bucketHeaderSize:], v)
+	f.MarkDirty()
+	b.head = f.ID()
+	q.pool.Unpin(f)
+	b.count++
+	q.diskLen++
+	q.counters.AddQueueDiskPair(1)
+	return nil
+}
+
+// loadBucket reads and frees every page of bucket idx, appending the
+// elements to the in-memory list.
+func (q *HybridQueue[T]) loadBucket(idx int) error {
+	b := q.buckets[idx]
+	if b == nil {
+		return nil
+	}
+	delete(q.buckets, idx)
+	size := q.codec.Size()
+	page := b.head
+	for page != pager.InvalidPage {
+		f, err := q.pool.Get(page)
+		if err != nil {
+			return err
+		}
+		next := pager.PageID(binary.LittleEndian.Uint32(f.Data()[0:]))
+		n := int(binary.LittleEndian.Uint16(f.Data()[4:]))
+		for i := 0; i < n; i++ {
+			q.list = append(q.list, q.codec.Decode(f.Data()[bucketHeaderSize+i*size:]))
+		}
+		q.pool.Unpin(f)
+		if err := q.pool.Drop(page); err != nil {
+			return err
+		}
+		page = next
+	}
+	q.diskLen -= b.count
+	return nil
+}
+
+// refill advances the tier boundaries when the heap drains: the list is
+// poured into the heap, D1 := D2, D2 += DT, and the next disk bucket is
+// loaded into the list (paper §3.2). Empty bucket ranges are skipped in one
+// jump rather than one DT step at a time.
+func (q *HybridQueue[T]) refill() error {
+	for q.heap.Empty() && (len(q.list) > 0 || q.diskLen > 0) {
+		for _, v := range q.list {
+			q.heap.Insert(v)
+		}
+		q.list = q.list[:0]
+		q.d1 = q.d2
+		if q.diskLen == 0 {
+			q.d2 = q.d1 + q.cfg.DT
+			continue
+		}
+		// Find the lowest populated bucket at or beyond the new D1.
+		minIdx := -1
+		for idx := range q.buckets {
+			if minIdx == -1 || idx < minIdx {
+				minIdx = idx
+			}
+		}
+		// Jump boundaries so the chosen bucket maps to [D1, D2).
+		if lo := float64(minIdx) * q.cfg.DT; lo > q.d1 {
+			q.d1 = lo
+		}
+		q.d2 = float64(minIdx+1) * q.cfg.DT
+		if err := q.loadBucket(minIdx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pop implements Queue.
+func (q *HybridQueue[T]) Pop() (T, bool, error) {
+	var zero T
+	if q.heap.Empty() {
+		if err := q.refill(); err != nil {
+			return zero, false, err
+		}
+		if q.heap.Empty() {
+			return zero, false, nil
+		}
+	}
+	q.counters.QueuePop()
+	return q.heap.PopMin(), true, nil
+}
+
+// Peek implements Queue.
+func (q *HybridQueue[T]) Peek() (T, bool, error) {
+	var zero T
+	if q.heap.Empty() {
+		if err := q.refill(); err != nil {
+			return zero, false, err
+		}
+		if q.heap.Empty() {
+			return zero, false, nil
+		}
+	}
+	return q.heap.Min().Value, true, nil
+}
+
+// Close implements Queue.
+func (q *HybridQueue[T]) Close() error { return q.pool.Store().Close() }

@@ -1,0 +1,301 @@
+// Package quadtree implements a bucket PR (point-region) quadtree — the
+// kind of unbalanced, space-partitioning hierarchy the paper contrasts with
+// the R-tree (§2.2.2, references [26, 27]). Space is recursively split into
+// 2^d congruent hyper-quadrants; leaves hold up to a bucket's worth of
+// points. Each point lives in exactly one leaf, satisfying the join
+// engine's assumptions, while leaves sit at varying depths — exercising the
+// algorithm's handling of unbalanced structures.
+//
+// The tree is an in-memory structure (the paper treats quadtrees as an
+// alternative decomposition, not as the disk-resident index of its
+// experiments); node visits are still counted so traversal costs remain
+// observable.
+package quadtree
+
+import (
+	"errors"
+	"fmt"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/stats"
+)
+
+// Config describes a quadtree.
+type Config struct {
+	// Bounds is the world extent; every inserted point must lie inside.
+	// Required.
+	Bounds geom.Rect
+	// BucketSize is the leaf capacity before a split (default 8).
+	BucketSize int
+	// MaxDepth caps subdivision; leaves at the cap may exceed BucketSize
+	// (coincident points make unlimited splitting futile). Default 24.
+	MaxDepth int
+	// Counters receives node-visit accounting. May be nil.
+	Counters *stats.Counters
+}
+
+// Point is one indexed point object.
+type Point struct {
+	P  geom.Point
+	ID uint64
+}
+
+// node is a quadtree node: a leaf with points, or an internal node with up
+// to 2^d children (empty quadrants are not materialized).
+type node struct {
+	rect     geom.Rect
+	depth    int
+	leaf     bool
+	points   []Point // leaf payload
+	children []int32 // child node ids; -1 for empty quadrants
+}
+
+// Tree is a bucket PR quadtree. Not safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	dims  int
+	nodes []*node // index = node id; 0 is the root
+	size  int
+}
+
+// New creates an empty quadtree over the given bounds.
+func New(cfg Config) (*Tree, error) {
+	if !cfg.Bounds.Valid() {
+		return nil, errors.New("quadtree: valid Bounds required")
+	}
+	if cfg.BucketSize == 0 {
+		cfg.BucketSize = 8
+	}
+	if cfg.BucketSize < 1 {
+		return nil, fmt.Errorf("quadtree: BucketSize %d < 1", cfg.BucketSize)
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 24
+	}
+	if cfg.MaxDepth < 1 || cfg.MaxDepth > 100 {
+		return nil, fmt.Errorf("quadtree: MaxDepth %d out of range [1, 100]", cfg.MaxDepth)
+	}
+	dims := cfg.Bounds.Dim()
+	if dims > 8 {
+		return nil, fmt.Errorf("quadtree: %d dimensions would mean %d children per node", dims, 1<<dims)
+	}
+	t := &Tree{cfg: cfg, dims: dims}
+	t.nodes = append(t.nodes, &node{rect: cfg.Bounds.Clone(), depth: 0, leaf: true})
+	return t, nil
+}
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the world extent.
+func (t *Tree) Bounds() geom.Rect { return t.cfg.Bounds }
+
+// MaxDepth returns the configured subdivision cap.
+func (t *Tree) MaxDepth() int { return t.cfg.MaxDepth }
+
+// Insert adds a point. Points outside the world bounds are rejected.
+func (t *Tree) Insert(p geom.Point, id uint64) error {
+	if p.Dim() != t.dims {
+		return fmt.Errorf("quadtree: point dimension %d, tree dimension %d", p.Dim(), t.dims)
+	}
+	if !t.cfg.Bounds.ContainsPoint(p) {
+		return fmt.Errorf("quadtree: point %v outside bounds %v", p, t.cfg.Bounds)
+	}
+	cur := int32(0)
+	for {
+		n := t.nodes[cur]
+		if n.leaf {
+			n.points = append(n.points, Point{P: p.Clone(), ID: id})
+			t.size++
+			if len(n.points) > t.cfg.BucketSize && n.depth < t.cfg.MaxDepth {
+				t.split(cur)
+			}
+			return nil
+		}
+		cur = t.childFor(cur, p)
+	}
+}
+
+// childFor returns (materializing if needed) the child quadrant of internal
+// node id containing p.
+func (t *Tree) childFor(id int32, p geom.Point) int32 {
+	n := t.nodes[id]
+	center := n.rect.Center()
+	q := 0
+	for i := 0; i < t.dims; i++ {
+		if p[i] >= center[i] {
+			q |= 1 << i
+		}
+	}
+	if n.children[q] >= 0 {
+		return n.children[q]
+	}
+	child := &node{rect: t.quadrantRect(n.rect, center, q), depth: n.depth + 1, leaf: true}
+	t.nodes = append(t.nodes, child)
+	cid := int32(len(t.nodes) - 1)
+	n.children[q] = cid
+	return cid
+}
+
+// quadrantRect computes the rectangle of quadrant q of a node rect split at
+// center. Bit i of q selects the upper half along dimension i.
+func (t *Tree) quadrantRect(r geom.Rect, center geom.Point, q int) geom.Rect {
+	lo := r.Lo.Clone()
+	hi := r.Hi.Clone()
+	for i := 0; i < t.dims; i++ {
+		if q&(1<<i) != 0 {
+			lo[i] = center[i]
+		} else {
+			hi[i] = center[i]
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// split converts a leaf into an internal node, redistributing its points.
+func (t *Tree) split(id int32) {
+	n := t.nodes[id]
+	pts := n.points
+	n.leaf = false
+	n.points = nil
+	n.children = make([]int32, 1<<t.dims)
+	for i := range n.children {
+		n.children[i] = -1
+	}
+	for _, pt := range pts {
+		cid := t.childFor(id, pt.P)
+		child := t.nodes[cid]
+		child.points = append(child.points, pt)
+		// Recursive overflow is handled lazily: if every point landed in
+		// one quadrant, split that child too (subject to the depth cap).
+		if len(child.points) > t.cfg.BucketSize && child.depth < t.cfg.MaxDepth {
+			t.split(cid)
+		}
+	}
+}
+
+// Delete removes the point with the given coordinates and id. It returns
+// false when not present. Emptied leaves are left in place (quadtrees
+// tolerate sparse nodes; a condensing pass is unnecessary for correctness).
+func (t *Tree) Delete(p geom.Point, id uint64) bool {
+	if p.Dim() != t.dims || !t.cfg.Bounds.ContainsPoint(p) {
+		return false
+	}
+	cur := int32(0)
+	for {
+		n := t.nodes[cur]
+		if n.leaf {
+			for i, pt := range n.points {
+				if pt.ID == id && pt.P.Equal(p) {
+					n.points = append(n.points[:i], n.points[i+1:]...)
+					t.size--
+					return true
+				}
+			}
+			return false
+		}
+		center := n.rect.Center()
+		q := 0
+		for i := 0; i < t.dims; i++ {
+			if p[i] >= center[i] {
+				q |= 1 << i
+			}
+		}
+		if n.children[q] < 0 {
+			return false
+		}
+		cur = n.children[q]
+	}
+}
+
+// Search invokes fn for every point inside query; return false to stop.
+func (t *Tree) Search(query geom.Rect, fn func(Point) bool) {
+	t.searchNode(0, query, fn)
+}
+
+func (t *Tree) searchNode(id int32, query geom.Rect, fn func(Point) bool) bool {
+	n := t.nodes[id]
+	t.cfg.Counters.AddNodeRead(1)
+	if !n.rect.Intersects(query) {
+		return true
+	}
+	if n.leaf {
+		for _, pt := range n.points {
+			if query.ContainsPoint(pt.P) {
+				if !fn(pt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, cid := range n.children {
+		if cid >= 0 {
+			if !t.searchNode(cid, query, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumNodes returns the number of materialized nodes (diagnostic).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// ChildRef is a reference to a node: its id, level and region. Levels
+// number upward from the deepest possible leaf (level = MaxDepth − depth),
+// so that deeper nodes have smaller levels as traversal algorithms expect.
+type ChildRef struct {
+	ID    int32
+	Level int
+	Rect  geom.Rect
+}
+
+// NodeView is the read-only traversal view of a node, used by the join
+// engine's SpatialIndex adapter.
+type NodeView struct {
+	Leaf     bool
+	Level    int
+	Rect     geom.Rect
+	Points   []Point    // leaf payload
+	Children []ChildRef // materialized quadrants of an internal node
+}
+
+// NodeRef returns a reference to the node with the given id.
+func (t *Tree) NodeRef(id int32) (ChildRef, error) {
+	if id < 0 || int(id) >= len(t.nodes) {
+		return ChildRef{}, fmt.Errorf("quadtree: node id %d out of range", id)
+	}
+	n := t.nodes[id]
+	return ChildRef{ID: id, Level: t.cfg.MaxDepth - n.depth, Rect: n.rect}, nil
+}
+
+// ReadNode decodes the node with the given id for traversal. Each call is
+// counted as a node read.
+func (t *Tree) ReadNode(id int32) (*NodeView, error) {
+	if id < 0 || int(id) >= len(t.nodes) {
+		return nil, fmt.Errorf("quadtree: node id %d out of range", id)
+	}
+	t.cfg.Counters.AddNodeRead(1)
+	n := t.nodes[id]
+	v := &NodeView{Leaf: n.leaf, Level: t.cfg.MaxDepth - n.depth, Rect: n.rect}
+	if n.leaf {
+		v.Points = n.points
+		return v, nil
+	}
+	for _, cid := range n.children {
+		if cid < 0 {
+			continue
+		}
+		c := t.nodes[cid]
+		v.Children = append(v.Children, ChildRef{
+			ID:    cid,
+			Level: t.cfg.MaxDepth - c.depth,
+			Rect:  c.rect,
+		})
+	}
+	return v, nil
+}

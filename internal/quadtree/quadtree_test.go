@@ -1,0 +1,303 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/stats"
+)
+
+func worldCfg() Config {
+	return Config{Bounds: geom.R(geom.Pt(0, 0), geom.Pt(1000, 1000)), BucketSize: 4, MaxDepth: 16}
+}
+
+func mustNew(t *testing.T, cfg Config) *Tree {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randPts(seed int64, n int) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+	}
+	return pts
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing bounds accepted")
+	}
+	if _, err := New(Config{Bounds: geom.R(geom.Pt(0, 0), geom.Pt(1, 1)), BucketSize: -1}); err == nil {
+		t.Error("negative bucket accepted")
+	}
+	if _, err := New(Config{Bounds: geom.R(geom.Pt(0, 0), geom.Pt(1, 1)), MaxDepth: 500}); err == nil {
+		t.Error("huge MaxDepth accepted")
+	}
+	bounds9 := geom.Rect{Lo: make(geom.Point, 9), Hi: make(geom.Point, 9)}
+	for i := range bounds9.Hi {
+		bounds9.Hi[i] = 1
+	}
+	if _, err := New(Config{Bounds: bounds9}); err == nil {
+		t.Error("9 dimensions accepted")
+	}
+}
+
+func TestInsertAndLen(t *testing.T) {
+	tr := mustNew(t, worldCfg())
+	pts := randPts(1, 500)
+	for i, p := range pts {
+		if err := tr.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.NumNodes() < 10 {
+		t.Fatalf("tree did not split: %d nodes", tr.NumNodes())
+	}
+}
+
+func TestInsertRejectsOutside(t *testing.T) {
+	tr := mustNew(t, worldCfg())
+	if err := tr.Insert(geom.Pt(-1, 5), 1); err == nil {
+		t.Error("outside point accepted")
+	}
+	if err := tr.Insert(geom.Pt(1, 2, 3), 1); err == nil {
+		t.Error("wrong dims accepted")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	tr := mustNew(t, worldCfg())
+	pts := randPts(2, 1000)
+	for i, p := range pts {
+		tr.Insert(p, uint64(i))
+	}
+	query := geom.R(geom.Pt(200, 300), geom.Pt(500, 800))
+	want := map[uint64]bool{}
+	for i, p := range pts {
+		if query.ContainsPoint(p) {
+			want[uint64(i)] = true
+		}
+	}
+	got := map[uint64]bool{}
+	tr.Search(query, func(pt Point) bool { got[pt.ID] = true; return true })
+	if len(got) != len(want) {
+		t.Fatalf("found %d, want %d", len(got), len(want))
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("missing %d", id)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := mustNew(t, worldCfg())
+	for i, p := range randPts(3, 200) {
+		tr.Insert(p, uint64(i))
+	}
+	calls := 0
+	tr.Search(tr.Bounds(), func(Point) bool { calls++; return calls < 3 })
+	if calls != 3 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := mustNew(t, worldCfg())
+	pts := randPts(4, 300)
+	for i, p := range pts {
+		tr.Insert(p, uint64(i))
+	}
+	for i := 0; i < 150; i++ {
+		if !tr.Delete(pts[i], uint64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 150 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Delete(pts[0], 0) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(geom.Pt(1, 2, 3), 1) {
+		t.Fatal("wrong-dim delete succeeded")
+	}
+	// Remaining points still findable.
+	found := 0
+	tr.Search(tr.Bounds(), func(Point) bool { found++; return true })
+	if found != 150 {
+		t.Fatalf("found %d after deletes", found)
+	}
+}
+
+func TestCoincidentPointsDepthCap(t *testing.T) {
+	cfg := worldCfg()
+	cfg.MaxDepth = 4
+	tr := mustNew(t, cfg)
+	// Coincident points cannot be separated: the depth cap must stop
+	// subdivision and store them all in one deep leaf.
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(geom.Pt(123, 456), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	count := 0
+	tr.Search(geom.R(geom.Pt(123, 456), geom.Pt(123, 456)), func(Point) bool { count++; return true })
+	if count != 100 {
+		t.Fatalf("found %d coincident points", count)
+	}
+}
+
+func TestNodeReadCounting(t *testing.T) {
+	c := &stats.Counters{}
+	cfg := worldCfg()
+	cfg.Counters = c
+	tr := mustNew(t, cfg)
+	for i, p := range randPts(5, 200) {
+		tr.Insert(p, uint64(i))
+	}
+	tr.Search(tr.Bounds(), func(Point) bool { return true })
+	if c.NodeReads == 0 {
+		t.Fatal("search counted no node reads")
+	}
+}
+
+func TestReadNodeTraversal(t *testing.T) {
+	tr := mustNew(t, worldCfg())
+	pts := randPts(6, 400)
+	for i, p := range pts {
+		tr.Insert(p, uint64(i))
+	}
+	root, err := tr.NodeRef(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Level != tr.MaxDepth() {
+		t.Fatalf("root level %d, want %d", root.Level, tr.MaxDepth())
+	}
+	// Walk the whole tree via ReadNode; count objects and check levels and
+	// region containment.
+	var walk func(id int32, level int, region geom.Rect) int
+	walk = func(id int32, level int, region geom.Rect) int {
+		n, err := tr.ReadNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Level != level {
+			t.Fatalf("node %d level %d, want %d", id, n.Level, level)
+		}
+		if !region.Contains(n.Rect) {
+			t.Fatalf("node %d region escapes parent", id)
+		}
+		if n.Leaf {
+			for _, p := range n.Points {
+				if !n.Rect.ContainsPoint(p.P) {
+					t.Fatalf("point %v outside its leaf region %v", p.P, n.Rect)
+				}
+			}
+			return len(n.Points)
+		}
+		total := 0
+		for _, c := range n.Children {
+			if c.Level != level-1 {
+				t.Fatalf("child level %d under level %d", c.Level, level)
+			}
+			total += walk(c.ID, c.Level, n.Rect)
+		}
+		return total
+	}
+	if got := walk(0, root.Level, tr.Bounds()); got != 400 {
+		t.Fatalf("walk found %d objects", got)
+	}
+	if _, err := tr.ReadNode(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := tr.ReadNode(int32(tr.NumNodes())); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+func TestThreeDimensional(t *testing.T) {
+	cfg := Config{Bounds: geom.R(geom.Pt(0, 0, 0), geom.Pt(100, 100, 100))}
+	tr := mustNew(t, cfg)
+	rnd := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Pt(rnd.Float64()*100, rnd.Float64()*100, rnd.Float64()*100)
+		if err := tr.Insert(pts[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := geom.R(geom.Pt(20, 20, 20), geom.Pt(70, 70, 70))
+	want := 0
+	for _, p := range pts {
+		if query.ContainsPoint(p) {
+			want++
+		}
+	}
+	got := 0
+	tr.Search(query, func(Point) bool { got++; return true })
+	if got != want {
+		t.Fatalf("3-D search: %d, want %d", got, want)
+	}
+}
+
+// Property: search over random data and queries always matches brute force,
+// under random bucket sizes and depth caps.
+func TestPropSearchCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Bounds:     geom.R(geom.Pt(0, 0), geom.Pt(100, 100)),
+			BucketSize: 1 + rnd.Intn(16),
+			MaxDepth:   2 + rnd.Intn(20),
+		}
+		tr, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		n := 50 + rnd.Intn(400)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rnd.Float64()*100, rnd.Float64()*100)
+			if err := tr.Insert(pts[i], uint64(i)); err != nil {
+				return false
+			}
+		}
+		for q := 0; q < 5; q++ {
+			x1, y1 := rnd.Float64()*100, rnd.Float64()*100
+			x2 := x1 + rnd.Float64()*(100-x1)
+			y2 := y1 + rnd.Float64()*(100-y1)
+			query := geom.R(geom.Pt(x1, y1), geom.Pt(x2, y2))
+			want := 0
+			for _, p := range pts {
+				if query.ContainsPoint(p) {
+					want++
+				}
+			}
+			got := 0
+			tr.Search(query, func(Point) bool { got++; return true })
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package rtree
+
+import (
+	"fmt"
+
+	"distjoin/internal/pager"
+)
+
+// CheckInvariants verifies the structural invariants of the tree and returns
+// a descriptive error on the first violation. It is exported for use by
+// tests and by the experiment harness as a sanity gate:
+//
+//   - every node's entry rectangle equals the MBR of the referenced child,
+//   - all leaves are at level 0 and levels decrease by one per hop,
+//   - every non-root node holds between MinEntries and MaxEntries entries,
+//   - the recorded height and object count match the structure.
+func (t *Tree) CheckInvariants() error {
+	objs, err := t.checkNode(t.root, t.height-1, true)
+	if err != nil {
+		return err
+	}
+	if objs != t.size {
+		return fmt.Errorf("rtree: size %d but %d objects reachable", t.size, objs)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(page pager.PageID, wantLevel int, isRoot bool) (int, error) {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return 0, err
+	}
+	if n.Level != wantLevel {
+		return 0, fmt.Errorf("rtree: page %d at level %d, want %d", page, n.Level, wantLevel)
+	}
+	if len(n.Entries) > t.maxEntries {
+		return 0, fmt.Errorf("rtree: page %d overflows: %d > %d", page, len(n.Entries), t.maxEntries)
+	}
+	if !isRoot && len(n.Entries) < t.minEntries {
+		return 0, fmt.Errorf("rtree: page %d underflows: %d < %d", page, len(n.Entries), t.minEntries)
+	}
+	if isRoot && n.Level > 0 && len(n.Entries) < 2 {
+		return 0, fmt.Errorf("rtree: non-leaf root has %d entries", len(n.Entries))
+	}
+	for i, e := range n.Entries {
+		if !e.Rect.Valid() {
+			return 0, fmt.Errorf("rtree: page %d entry %d has invalid rect %v", page, i, e.Rect)
+		}
+	}
+	if n.Level == 0 {
+		return len(n.Entries), nil
+	}
+	total := 0
+	for i, e := range n.Entries {
+		child, err := t.ReadNode(e.Child)
+		if err != nil {
+			return 0, err
+		}
+		if len(child.Entries) == 0 {
+			return 0, fmt.Errorf("rtree: page %d entry %d references empty child %d", page, i, e.Child)
+		}
+		if got := child.MBR(); !got.Equal(e.Rect) {
+			return 0, fmt.Errorf("rtree: page %d entry %d rect %v != child MBR %v", page, i, e.Rect, got)
+		}
+		objs, err := t.checkNode(e.Child, wantLevel-1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += objs
+	}
+	return total, nil
+}

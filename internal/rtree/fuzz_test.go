@@ -1,0 +1,38 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"distjoin/internal/geom"
+)
+
+// FuzzDecodeNode checks the node deserializer rejects or safely decodes
+// arbitrary page images — the tree must never panic on corrupt pages.
+func FuzzDecodeNode(f *testing.F) {
+	// Seed with a valid page.
+	valid := make([]byte, 512)
+	n := &Node{Page: 1, Level: 0, Entries: []Entry{
+		{Rect: geom.R(geom.Pt(1, 2), geom.Pt(3, 4)), Obj: 7},
+	}}
+	encodeNode(n, 2, valid)
+	f.Add(valid)
+	corrupt := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint16(corrupt[2:], 9999)
+	f.Add(corrupt)
+	f.Add(make([]byte, 512))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		if len(page) < nodeHeaderSize {
+			return
+		}
+		decoded, err := decodeNode(1, 2, page)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode without panicking when it fits.
+		if len(decoded.Entries) <= maxEntriesFor(len(page), 2) {
+			buf := make([]byte, len(page))
+			encodeNode(decoded, 2, buf)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distjoin/internal/geom"
+)
+
+// TestPropRandomOpsAgainstModel drives random interleaved inserts, deletes
+// and searches against a map-based model, checking structural invariants
+// along the way — the classic model-based test for ordered index
+// structures.
+func TestPropRandomOpsAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		tr, err := New(Config{Dims: 2, PageSize: 256, BufferFrames: 8})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+
+		type obj struct {
+			r geom.Rect
+		}
+		model := map[ObjID]obj{}
+		nextID := ObjID(0)
+		ops := 300 + rnd.Intn(500)
+		for op := 0; op < ops; op++ {
+			switch rnd.Intn(10) {
+			case 0, 1, 2, 3, 4, 5: // insert
+				x, y := rnd.Float64()*100, rnd.Float64()*100
+				w, h := rnd.Float64()*10, rnd.Float64()*10
+				r := geom.R(geom.Pt(x, y), geom.Pt(x+w, y+h))
+				id := nextID
+				nextID++
+				if err := tr.Insert(r, id); err != nil {
+					return false
+				}
+				model[id] = obj{r: r}
+			case 6, 7: // delete a random live object
+				for id, o := range model {
+					ok, err := tr.Delete(o.r, id)
+					if err != nil || !ok {
+						return false
+					}
+					delete(model, id)
+					break
+				}
+			case 8: // delete a missing object
+				if ok, err := tr.Delete(geom.Pt(500, 500).Rect(), 999999); err != nil || ok {
+					return false
+				}
+			case 9: // search and compare against the model
+				x, y := rnd.Float64()*100, rnd.Float64()*100
+				q := geom.R(geom.Pt(x, y), geom.Pt(x+rnd.Float64()*30, y+rnd.Float64()*30))
+				want := map[ObjID]bool{}
+				for id, o := range model {
+					if o.r.Intersects(q) {
+						want[id] = true
+					}
+				}
+				got := map[ObjID]bool{}
+				if err := tr.Search(q, func(e Entry) bool { got[e.Obj] = true; return true }); err != nil {
+					return false
+				}
+				if len(got) != len(want) {
+					return false
+				}
+				for id := range want {
+					if !got[id] {
+						return false
+					}
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertDeleteChurn repeatedly fills and empties the tree, verifying
+// that pages are recycled rather than leaked.
+func TestInsertDeleteChurn(t *testing.T) {
+	tr := mustNew(t, smallConfig())
+	pts := randomPoints(55, 400)
+	var peakPages int
+	for round := 0; round < 5; round++ {
+		for i, p := range pts {
+			if err := tr.InsertPoint(p, ObjID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d after fill: %v", round, err)
+		}
+		pages := tr.Pool().Store().NumAllocated()
+		if round == 0 {
+			peakPages = pages
+		} else if pages > peakPages*2 {
+			t.Fatalf("page usage grows without bound: %d -> %d", peakPages, pages)
+		}
+		for i, p := range pts {
+			if ok, err := tr.Delete(p.Rect(), ObjID(i)); err != nil || !ok {
+				t.Fatalf("round %d delete %d: %v %v", round, i, ok, err)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: %d objects left", round, tr.Len())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package rtree implements a disk-paged R*-tree (Beckmann, Kriegel,
+// Schneider & Seeger, 1990), the spatial index the paper's experiments are
+// built on (§2.1, §3.1): ChooseSubtree with overlap minimization, the R*
+// topological split, forced reinsertion, deletion with subtree condensing,
+// STR bulk loading, and window search. Nodes live on fixed-size pages behind
+// an LRU buffer pool so that node I/O can be counted exactly as in Table 1
+// of the paper.
+//
+// Leaf entries reference objects by an opaque 64-bit ObjID, and carry the
+// object's bounding rectangle. When the indexed objects are points the
+// rectangle is degenerate, which matches the paper's experimental setup of
+// storing point objects directly in the leaves.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/pager"
+)
+
+// ObjID identifies an indexed object (e.g. a tuple ID).
+type ObjID uint64
+
+// Entry is one (key, pointer) slot of an R-tree node: a bounding rectangle
+// plus either a child page (internal nodes) or an object id (leaf nodes).
+type Entry struct {
+	Rect  geom.Rect
+	Child pager.PageID // valid in internal nodes
+	Obj   ObjID        // valid in leaf nodes
+}
+
+// Node is the decoded form of an R-tree node page. Level 0 is the leaf
+// level.
+type Node struct {
+	Page    pager.PageID
+	Level   int
+	Entries []Entry
+}
+
+// Leaf reports whether the node is at the leaf level.
+func (n *Node) Leaf() bool { return n.Level == 0 }
+
+// MBR returns the minimum bounding rectangle of the node's entries. It
+// panics on an empty node; only a fresh root may be empty, and callers
+// special-case that.
+func (n *Node) MBR() geom.Rect {
+	r := n.Entries[0].Rect.Clone()
+	for _, e := range n.Entries[1:] {
+		r.UnionInPlace(e.Rect)
+	}
+	return r
+}
+
+// Page layout:
+//
+//	offset 0  uint8  flags (bit 0: leaf)
+//	offset 1  uint8  level
+//	offset 2  uint16 entry count
+//	offset 4  uint32 reserved
+//	offset 8  entries: dims×2 float64 (lo coords, hi coords), uint64 ref
+const nodeHeaderSize = 8
+
+const flagLeaf = 1
+
+// entrySize returns the on-page size of one entry for the given
+// dimensionality.
+func entrySize(dims int) int { return dims*2*8 + 8 }
+
+// maxEntriesFor returns the node capacity (fan-out) for a page size and
+// dimensionality.
+func maxEntriesFor(pageSize, dims int) int {
+	return (pageSize - nodeHeaderSize) / entrySize(dims)
+}
+
+// encodeNode serializes n into buf (a full page). It panics if the node
+// exceeds the page capacity, which indicates a bug in overflow handling.
+func encodeNode(n *Node, dims int, buf []byte) {
+	if len(n.Entries) > maxEntriesFor(len(buf), dims) {
+		panic(fmt.Sprintf("rtree: encoding node %d with %d entries, capacity %d",
+			n.Page, len(n.Entries), maxEntriesFor(len(buf), dims)))
+	}
+	var flags byte
+	if n.Level == 0 {
+		flags |= flagLeaf
+	}
+	buf[0] = flags
+	buf[1] = byte(n.Level)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.Entries)))
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	off := nodeHeaderSize
+	for _, e := range n.Entries {
+		for i := 0; i < dims; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Lo[i]))
+			off += 8
+		}
+		for i := 0; i < dims; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.Rect.Hi[i]))
+			off += 8
+		}
+		var ref uint64
+		if n.Level == 0 {
+			ref = uint64(e.Obj)
+		} else {
+			ref = uint64(e.Child)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], ref)
+		off += 8
+	}
+}
+
+// decodeNode deserializes a node from a page image.
+func decodeNode(page pager.PageID, dims int, buf []byte) (*Node, error) {
+	leaf := buf[0]&flagLeaf != 0
+	level := int(buf[1])
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if leaf != (level == 0) {
+		return nil, fmt.Errorf("rtree: page %d: leaf flag %v inconsistent with level %d", page, leaf, level)
+	}
+	if max := maxEntriesFor(len(buf), dims); count > max {
+		return nil, fmt.Errorf("rtree: page %d: count %d exceeds capacity %d", page, count, max)
+	}
+	n := &Node{Page: page, Level: level, Entries: make([]Entry, count)}
+	off := nodeHeaderSize
+	for k := 0; k < count; k++ {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for i := 0; i < dims; i++ {
+			lo[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for i := 0; i < dims; i++ {
+			hi[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		ref := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		e := Entry{Rect: geom.Rect{Lo: lo, Hi: hi}}
+		if level == 0 {
+			e.Obj = ObjID(ref)
+		} else {
+			e.Child = pager.PageID(ref)
+		}
+		n.Entries[k] = e
+	}
+	return n, nil
+}

@@ -1,0 +1,93 @@
+package rtree
+
+import (
+	"distjoin/internal/geom"
+	"distjoin/internal/pager"
+)
+
+// Search invokes fn for every leaf entry whose rectangle intersects query.
+// Traversal stops early when fn returns false.
+func (t *Tree) Search(query geom.Rect, fn func(Entry) bool) error {
+	if err := t.checkRect(query); err != nil {
+		return err
+	}
+	_, err := t.searchPage(t.root, query, fn)
+	return err
+}
+
+func (t *Tree) searchPage(page pager.PageID, query geom.Rect, fn func(Entry) bool) (bool, error) {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.Entries {
+		if !e.Rect.Intersects(query) {
+			continue
+		}
+		if n.Level == 0 {
+			if !fn(e) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.searchPage(e.Child, query, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Scan invokes fn for every leaf entry in the tree, in storage order.
+// Traversal stops early when fn returns false.
+func (t *Tree) Scan(fn func(Entry) bool) error {
+	_, err := t.scanPage(t.root, fn)
+	return err
+}
+
+func (t *Tree) scanPage(page pager.PageID, fn func(Entry) bool) (bool, error) {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.Entries {
+		if n.Level == 0 {
+			if !fn(e) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.scanPage(e.Child, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// CountNodes returns the number of nodes on each level, leaf level first.
+// It is a diagnostic helper and reads every node.
+func (t *Tree) CountNodes() ([]int, error) {
+	counts := make([]int, t.height)
+	if err := t.countPage(t.root, counts); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+func (t *Tree) countPage(page pager.PageID, counts []int) error {
+	n, err := t.ReadNode(page)
+	if err != nil {
+		return err
+	}
+	counts[n.Level]++
+	if n.Level == 0 {
+		return nil
+	}
+	for _, e := range n.Entries {
+		if err := t.countPage(e.Child, counts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

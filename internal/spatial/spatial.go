@@ -1,0 +1,174 @@
+// Package spatial defines the hierarchical-decomposition abstraction the
+// incremental algorithms traverse — the paper's "large class of
+// hierarchical spatial data structures" (§2.2) — together with adapters for
+// the two provided structures: the disk-paged R*-tree and the bucket PR
+// quadtree.
+package spatial
+
+import (
+	"distjoin/internal/geom"
+	"distjoin/internal/pager"
+	"distjoin/internal/quadtree"
+	"distjoin/internal/rtree"
+)
+
+// Index is the abstraction the join and nearest-neighbour engines traverse. The paper's
+// algorithms "work for any spatial data structure based on a hierarchical
+// decomposition" (§2.2): any tree of nodes covering regions of space, with
+// objects stored in leaves, each object in exactly one leaf. R-trees
+// satisfy this directly; unbalanced structures such as quadtrees do too,
+// with leaves at varying levels (§2.2.2).
+//
+// Levels number upward from the deepest possible leaf: a node's children
+// are at smaller levels than the node, and leaves may sit at any level ≥ 0.
+// Object items use level -1 internally, so deeper always sorts first under
+// depth-first tie-breaking.
+type Index interface {
+	// Dims returns the dimensionality of indexed geometry.
+	Dims() int
+	// NumObjects returns the number of indexed objects.
+	NumObjects() int
+	// Root returns a reference to the root node. Only called when
+	// NumObjects() > 0.
+	Root() (NodeRef, error)
+	// Node reads the node behind a reference produced by Root or a prior
+	// Node call.
+	Node(ref uint64) (*IndexNode, error)
+	// MinObjectsUnder returns a guaranteed lower bound on the number of
+	// objects in the subtree of a non-root node at the given level, used
+	// by the maximum-distance estimation of §2.2.4. Structures without a
+	// minimum-fill invariant should return 1.
+	MinObjectsUnder(level int) int
+}
+
+// NodeRef is a child pointer: an opaque reference plus the level and
+// bounding region of the referenced node.
+type NodeRef struct {
+	Ref   uint64
+	Level int
+	Rect  geom.Rect
+}
+
+// ObjectRef is a leaf entry: an object id plus its geometry (or minimal
+// bounding rectangle, in OBR mode).
+type ObjectRef struct {
+	ID   uint64
+	Rect geom.Rect
+}
+
+// IndexNode is the decoded form of an index node.
+type IndexNode struct {
+	Leaf     bool
+	Level    int
+	Children []NodeRef   // populated for non-leaf nodes
+	Objects  []ObjectRef // populated for leaf nodes
+}
+
+// rtreeIndex adapts *rtree.Tree to SpatialIndex. R-tree levels already
+// number upward from the leaves (leaf = 0), matching the interface
+// contract.
+type rtreeIndex struct {
+	t *rtree.Tree
+}
+
+// WrapRTree exposes an R*-tree as a SpatialIndex. The public join
+// constructors apply it implicitly; it is exported for callers composing an
+// R-tree with a different structure on the other side.
+func WrapRTree(t *rtree.Tree) Index {
+	if t == nil {
+		return nil
+	}
+	return rtreeIndex{t: t}
+}
+
+func (ix rtreeIndex) Dims() int       { return ix.t.Dims() }
+func (ix rtreeIndex) NumObjects() int { return ix.t.Len() }
+
+func (ix rtreeIndex) Root() (NodeRef, error) {
+	root, err := ix.t.ReadNode(ix.t.RootPage())
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return NodeRef{
+		Ref:   uint64(ix.t.RootPage()),
+		Level: root.Level,
+		Rect:  root.MBR(),
+	}, nil
+}
+
+func (ix rtreeIndex) Node(ref uint64) (*IndexNode, error) {
+	n, err := ix.t.ReadNode(pager.PageID(ref))
+	if err != nil {
+		return nil, err
+	}
+	out := &IndexNode{Leaf: n.Leaf(), Level: n.Level}
+	if n.Leaf() {
+		out.Objects = make([]ObjectRef, len(n.Entries))
+		for i, e := range n.Entries {
+			out.Objects[i] = ObjectRef{ID: uint64(e.Obj), Rect: e.Rect}
+		}
+		return out, nil
+	}
+	out.Children = make([]NodeRef, len(n.Entries))
+	for i, e := range n.Entries {
+		out.Children[i] = NodeRef{Ref: uint64(e.Child), Level: n.Level - 1, Rect: e.Rect}
+	}
+	return out, nil
+}
+
+func (ix rtreeIndex) MinObjectsUnder(level int) int { return ix.t.MinObjectsUnder(level) }
+
+// quadIndex adapts a bucket PR quadtree to SpatialIndex. Quadtrees are
+// unbalanced: leaves sit at varying depths, which the engine's levels
+// accommodate by numbering from the deepest possible leaf upward
+// (level = MaxDepth − depth).
+type quadIndex struct {
+	t *quadtree.Tree
+}
+
+// WrapQuadtree exposes a quadtree as a SpatialIndex, demonstrating the
+// paper's claim (§2.2) that the incremental join runs over any hierarchical
+// spatial decomposition — including joins that mix an R-tree on one side
+// with a quadtree on the other.
+func WrapQuadtree(t *quadtree.Tree) Index {
+	if t == nil {
+		return nil
+	}
+	return quadIndex{t: t}
+}
+
+func (ix quadIndex) Dims() int       { return ix.t.Dims() }
+func (ix quadIndex) NumObjects() int { return ix.t.Len() }
+
+func (ix quadIndex) Root() (NodeRef, error) {
+	ref, err := ix.t.NodeRef(0)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	return NodeRef{Ref: 0, Level: ref.Level, Rect: ref.Rect}, nil
+}
+
+func (ix quadIndex) Node(ref uint64) (*IndexNode, error) {
+	n, err := ix.t.ReadNode(int32(ref))
+	if err != nil {
+		return nil, err
+	}
+	out := &IndexNode{Leaf: n.Leaf, Level: n.Level}
+	if n.Leaf {
+		out.Objects = make([]ObjectRef, len(n.Points))
+		for i, p := range n.Points {
+			out.Objects[i] = ObjectRef{ID: p.ID, Rect: p.P.Rect()}
+		}
+		return out, nil
+	}
+	out.Children = make([]NodeRef, len(n.Children))
+	for i, c := range n.Children {
+		out.Children[i] = NodeRef{Ref: uint64(c.ID), Level: c.Level, Rect: c.Rect}
+	}
+	return out, nil
+}
+
+// MinObjectsUnder returns 1: quadtrees have no minimum-fill invariant, so
+// the §2.2.4 estimation can only count one guaranteed object per node (the
+// restart path recovers from the residual optimism).
+func (ix quadIndex) MinObjectsUnder(int) int { return 1 }

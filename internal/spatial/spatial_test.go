@@ -1,0 +1,119 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/quadtree"
+	"distjoin/internal/rtree"
+)
+
+func randPts(seed int64, n int) []geom.Point {
+	rnd := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rnd.Float64()*100, rnd.Float64()*100)
+	}
+	return pts
+}
+
+// checkContract walks an Index from the root and verifies the structural
+// contract every engine relies on: children sit at strictly smaller levels,
+// child regions are covered by their parent entries' rectangles (for
+// data-partitioning trees the entry rect IS the subtree MBR; for
+// space-partitioning trees the region contains the subtree), and every
+// object is reachable exactly once.
+func checkContract(t *testing.T, ix Index, wantObjects int) {
+	t.Helper()
+	root, err := ix.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	var walk func(ref NodeRef)
+	walk = func(ref NodeRef) {
+		n, err := ix.Node(ref.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Leaf {
+			for _, o := range n.Objects {
+				if seen[o.ID] {
+					t.Fatalf("object %d reachable twice", o.ID)
+				}
+				seen[o.ID] = true
+				if !ref.Rect.Contains(o.Rect) {
+					t.Fatalf("object %d escapes its leaf region", o.ID)
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			if c.Level >= ref.Level {
+				t.Fatalf("child level %d not below parent %d", c.Level, ref.Level)
+			}
+			if !ref.Rect.Contains(c.Rect) {
+				t.Fatalf("child region escapes parent")
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	if len(seen) != wantObjects {
+		t.Fatalf("reached %d objects, want %d", len(seen), wantObjects)
+	}
+	if ix.NumObjects() != wantObjects {
+		t.Fatalf("NumObjects = %d, want %d", ix.NumObjects(), wantObjects)
+	}
+}
+
+func TestRTreeAdapterContract(t *testing.T) {
+	pts := randPts(1, 600)
+	items := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = rtree.Item{Rect: p.Rect(), Obj: rtree.ObjID(i)}
+	}
+	tr, err := rtree.BulkLoad(rtree.Config{Dims: 2, PageSize: 512, BufferFrames: 16}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ix := WrapRTree(tr)
+	if ix.Dims() != 2 {
+		t.Fatal("Dims wrong")
+	}
+	if ix.MinObjectsUnder(0) < 2 {
+		t.Fatal("R-tree must guarantee min fill")
+	}
+	checkContract(t, ix, len(pts))
+}
+
+func TestQuadtreeAdapterContract(t *testing.T) {
+	qt, err := quadtree.New(quadtree.Config{
+		Bounds: geom.R(geom.Pt(0, 0), geom.Pt(100, 100)), BucketSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := randPts(2, 500)
+	for i, p := range pts {
+		if err := qt.Insert(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := WrapQuadtree(qt)
+	if ix.MinObjectsUnder(3) != 1 {
+		t.Fatal("quadtree has no fill guarantee; MinObjectsUnder must be 1")
+	}
+	checkContract(t, ix, len(pts))
+}
+
+func TestWrapNilReturnsNil(t *testing.T) {
+	if WrapRTree(nil) != nil {
+		t.Fatal("WrapRTree(nil) not nil")
+	}
+	if WrapQuadtree(nil) != nil {
+		t.Fatal("WrapQuadtree(nil) not nil")
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the performance counters used throughout the
+// repository to reproduce the measures the paper reports in Table 1: the
+// number of object distance calculations, the maximum priority-queue size,
+// and the number of node I/O operations, plus wall-clock timing helpers.
+//
+// Counters are plain integers: the algorithms in this repository are
+// single-goroutine by design (they model a single query executor), so no
+// synchronization is needed. A nil *Counters is valid everywhere and records
+// nothing, so instrumentation can be disabled without branching at call
+// sites.
+package stats
+
+import (
+	"fmt"
+	"time"
+
+	"distjoin/internal/pager"
+)
+
+// Counters accumulates the paper's performance measures.
+type Counters struct {
+	// DistCalcs counts object-to-object distance computations ("Dist.
+	// Calc." in Table 1). Distances involving nodes are counted separately
+	// in NodeDistCalcs.
+	DistCalcs int64
+	// NodeDistCalcs counts distance computations with at least one node or
+	// bounding rectangle operand.
+	NodeDistCalcs int64
+	// NodeReads counts index node read I/O (buffer-pool misses).
+	NodeReads int64
+	// NodeWrites counts index node write I/O.
+	NodeWrites int64
+	// BufferHits counts node accesses satisfied from the buffer pool.
+	BufferHits int64
+	// QueueInserts counts priority-queue insertions.
+	QueueInserts int64
+	// QueuePops counts priority-queue removals.
+	QueuePops int64
+	// MaxQueueSize is the high-water mark of the priority-queue size
+	// ("Queue Size" in Table 1).
+	MaxQueueSize int64
+	// QueueDiskPairs counts pairs spilled to the disk tier of the hybrid
+	// queue.
+	QueueDiskPairs int64
+	// QueueReads and QueueWrites count the hybrid queue's own page I/O,
+	// which the paper accounts separately from R-tree node I/O.
+	QueueReads  int64
+	QueueWrites int64
+	// PairsReported counts result pairs delivered to the caller.
+	PairsReported int64
+	// Filtered counts pairs discarded by semi-join filtering or distance
+	// range pruning before reaching the queue.
+	Filtered int64
+}
+
+// NodeIO returns reads+writes, the "Node I/O" measure of Table 1.
+func (c *Counters) NodeIO() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.NodeReads + c.NodeWrites
+}
+
+// AddDistCalc records n object distance computations.
+func (c *Counters) AddDistCalc(n int64) {
+	if c != nil {
+		c.DistCalcs += n
+	}
+}
+
+// AddNodeDistCalc records n node distance computations.
+func (c *Counters) AddNodeDistCalc(n int64) {
+	if c != nil {
+		c.NodeDistCalcs += n
+	}
+}
+
+// AddNodeRead records n node read I/Os.
+func (c *Counters) AddNodeRead(n int64) {
+	if c != nil {
+		c.NodeReads += n
+	}
+}
+
+// AddNodeWrite records n node write I/Os.
+func (c *Counters) AddNodeWrite(n int64) {
+	if c != nil {
+		c.NodeWrites += n
+	}
+}
+
+// AddBufferHit records n buffer-pool hits.
+func (c *Counters) AddBufferHit(n int64) {
+	if c != nil {
+		c.BufferHits += n
+	}
+}
+
+// QueueInsert records a queue insertion and updates the high-water mark
+// given the queue's new size.
+func (c *Counters) QueueInsert(newSize int64) {
+	if c == nil {
+		return
+	}
+	c.QueueInserts++
+	if newSize > c.MaxQueueSize {
+		c.MaxQueueSize = newSize
+	}
+}
+
+// QueuePop records a queue removal.
+func (c *Counters) QueuePop() {
+	if c != nil {
+		c.QueuePops++
+	}
+}
+
+// AddQueueDiskPair records n pairs spilled to disk.
+func (c *Counters) AddQueueDiskPair(n int64) {
+	if c != nil {
+		c.QueueDiskPairs += n
+	}
+}
+
+// ReportPair records a result pair delivered to the caller.
+func (c *Counters) ReportPair() {
+	if c != nil {
+		c.PairsReported++
+	}
+}
+
+// Filter records n pairs pruned before insertion.
+func (c *Counters) Filter(n int64) {
+	if c != nil {
+		c.Filtered += n
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	if c != nil {
+		*c = Counters{}
+	}
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() Counters {
+	if c == nil {
+		return Counters{}
+	}
+	return *c
+}
+
+// String formats the Table 1 measures compactly.
+func (c *Counters) String() string {
+	if c == nil {
+		return "stats: disabled"
+	}
+	return fmt.Sprintf("distCalcs=%d queueMax=%d nodeIO=%d (reads=%d writes=%d hits=%d)",
+		c.DistCalcs, c.MaxQueueSize, c.NodeIO(), c.NodeReads, c.NodeWrites, c.BufferHits)
+}
+
+// NodeSink adapts c into a pager.IOCounter that records into the node-I/O
+// columns (NodeReads, NodeWrites, BufferHits). It returns an untyped nil
+// when c is nil, so the pool records nothing.
+func NodeSink(c *Counters) pager.IOCounter {
+	if c == nil {
+		return nil
+	}
+	return &NodeIOSink{c: c}
+}
+
+// NodeIOSink routes pool I/O into the node-I/O counters.
+type NodeIOSink struct{ c *Counters }
+
+// AddRead implements pager.IOCounter.
+func (s *NodeIOSink) AddRead(n int64) { s.c.NodeReads += n }
+
+// AddWrite implements pager.IOCounter.
+func (s *NodeIOSink) AddWrite(n int64) { s.c.NodeWrites += n }
+
+// AddHit implements pager.IOCounter.
+func (s *NodeIOSink) AddHit(n int64) { s.c.BufferHits += n }
+
+// QueueSink adapts c into a pager.IOCounter that records into the queue-I/O
+// columns (QueueReads, QueueWrites). Buffer hits inside the queue's small
+// pool are not separately tracked. It returns an untyped nil when c is nil.
+func QueueSink(c *Counters) pager.IOCounter {
+	if c == nil {
+		return nil
+	}
+	return &QueueIOSink{c: c}
+}
+
+// QueueIOSink routes pool I/O into the queue-I/O counters.
+type QueueIOSink struct{ c *Counters }
+
+// AddRead implements pager.IOCounter.
+func (s *QueueIOSink) AddRead(n int64) { s.c.QueueReads += n }
+
+// AddWrite implements pager.IOCounter.
+func (s *QueueIOSink) AddWrite(n int64) { s.c.QueueWrites += n }
+
+// AddHit implements pager.IOCounter.
+func (s *QueueIOSink) AddHit(int64) {}
+
+// Timer measures wall-clock elapsed time for an experiment leg.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since StartTimer.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }

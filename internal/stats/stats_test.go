@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	c.AddDistCalc(1)
+	c.AddNodeDistCalc(1)
+	c.AddNodeRead(1)
+	c.AddNodeWrite(1)
+	c.AddBufferHit(1)
+	c.QueueInsert(5)
+	c.QueuePop()
+	c.AddQueueDiskPair(1)
+	c.ReportPair()
+	c.Filter(1)
+	c.Reset()
+	if c.NodeIO() != 0 {
+		t.Fatal("nil counters returned non-zero")
+	}
+	if c.Snapshot() != (Counters{}) {
+		t.Fatal("nil snapshot not zero")
+	}
+	if !strings.Contains(c.String(), "disabled") {
+		t.Fatal("nil String() wrong")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Counters{}
+	c.AddDistCalc(3)
+	c.AddNodeDistCalc(2)
+	c.AddNodeRead(5)
+	c.AddNodeWrite(4)
+	c.AddBufferHit(7)
+	if c.NodeIO() != 9 {
+		t.Fatalf("NodeIO = %d", c.NodeIO())
+	}
+	c.QueueInsert(10)
+	c.QueueInsert(3)
+	if c.MaxQueueSize != 10 || c.QueueInserts != 2 {
+		t.Fatalf("queue accounting wrong: %+v", c)
+	}
+	c.QueuePop()
+	c.ReportPair()
+	c.Filter(2)
+	snap := c.Snapshot()
+	if snap.DistCalcs != 3 || snap.Filtered != 2 || snap.PairsReported != 1 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+	c.Reset()
+	if c.DistCalcs != 0 || c.MaxQueueSize != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := &Counters{DistCalcs: 42, MaxQueueSize: 7, NodeReads: 3, NodeWrites: 1}
+	s := c.String()
+	for _, want := range []string{"distCalcs=42", "queueMax=7", "nodeIO=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSinks(t *testing.T) {
+	c := &Counters{}
+	ns := NodeSink(c)
+	ns.AddRead(2)
+	ns.AddWrite(3)
+	ns.AddHit(4)
+	if c.NodeReads != 2 || c.NodeWrites != 3 || c.BufferHits != 4 {
+		t.Fatalf("node sink: %+v", c)
+	}
+	qs := QueueSink(c)
+	qs.AddRead(5)
+	qs.AddWrite(6)
+	qs.AddHit(7) // dropped by design
+	if c.QueueReads != 5 || c.QueueWrites != 6 {
+		t.Fatalf("queue sink: %+v", c)
+	}
+	if c.NodeReads != 2 {
+		t.Fatal("queue sink leaked into node counters")
+	}
+	if NodeSink(nil) != nil || QueueSink(nil) != nil {
+		t.Fatal("nil counters must yield nil sinks")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	time.Sleep(time.Millisecond)
+	if tm.Elapsed() < time.Millisecond {
+		t.Fatal("timer did not advance")
+	}
+}
