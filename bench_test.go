@@ -297,6 +297,44 @@ func BenchmarkKNearestJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelJoin measures the partitioned parallel join against the
+// sequential path on the Table 1 workload (Water ⋈ Roads, a large result
+// prefix). Sub-benchmark P1 is the sequential baseline; the Px speedups
+// are only meaningful on a machine with that many CPUs — compare with
+// `go test -bench ParallelJoin -cpu 1,2,4`.
+func BenchmarkParallelJoin(b *testing.B) {
+	d := loadBench(b)
+	const k = 20_000
+	for _, par := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "P1", 2: "P2", 4: "P4"}[par], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j, err := idistjoin.NewJoin(d.Water, d.Roads, idistjoin.Options{
+					MaxPairs:    k,
+					Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					_, ok, err := j.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+				if n != k {
+					b.Fatalf("drained %d pairs, want %d", n, k)
+				}
+				j.Close()
+			}
+		})
+	}
+}
+
 // BenchmarkDimSweep regenerates the §5 higher-dimensions sweep.
 func BenchmarkDimSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {

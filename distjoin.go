@@ -28,7 +28,10 @@
 // All options the paper evaluates are exposed: distance ranges, result
 // count bounds with maximum-distance estimation, traversal and tie-breaking
 // policies, queue implementations, semi-join filtering strategies, and
-// farthest-first ordering. See Options and SemiFilter.
+// farthest-first ordering. See Options and SemiFilter. Beyond the paper,
+// Options.Parallelism runs the join partitioned across CPU cores with an
+// order-preserving merge of the partition streams (see the "Parallel
+// execution" section of the README).
 package distjoin
 
 import (
@@ -101,6 +104,10 @@ const (
 	FilterLocal       = distjoin.FilterLocal
 	FilterGlobalNodes = distjoin.FilterGlobalNodes
 	FilterGlobalAll   = distjoin.FilterGlobalAll
+
+	// ParallelismAuto, assigned to Options.Parallelism, runs one partition
+	// worker per available CPU.
+	ParallelismAuto = distjoin.ParallelismAuto
 )
 
 // Stats holds the performance counters of Table 1 (distance calculations,

@@ -107,6 +107,9 @@ func TestJoinMatchesBruteForce(t *testing.T) {
 		{"Simultaneous/NoSweep", Options{Traversal: TraverseSimultaneous, NoPlaneSweep: true}},
 		{"Hybrid", Options{Queue: QueueHybrid, HybridDT: 25, HybridInMemory: true}},
 		{"HybridAdaptive", Options{Queue: QueueHybrid, HybridInMemory: true}},
+		{"HybridSmallPages", Options{Queue: QueueHybrid, HybridDT: 25, HybridInMemory: true, QueuePageSize: 512}},
+		{"Parallel", Options{Parallelism: 4}},
+		{"ParallelHybrid", Options{Parallelism: 3, Queue: QueueHybrid, HybridDT: 25, HybridInMemory: true, QueuePageSize: 1024}},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
@@ -430,6 +433,7 @@ func TestJoinOptionValidation(t *testing.T) {
 		{Reverse: true, Queue: QueueHybrid},
 		{Fetch1: func(rtree.ObjID) (geom.Rect, error) { return geom.Rect{}, nil }},
 		{PlaneSweep: true, NoPlaneSweep: true},
+		{QueuePageSize: -1},
 	}
 	for i, o := range cases {
 		if _, err := NewJoin(ta, tb, o); err == nil {

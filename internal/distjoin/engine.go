@@ -1,9 +1,10 @@
 package distjoin
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"distjoin/internal/geom"
 	"distjoin/internal/pager"
@@ -64,6 +65,14 @@ type engine struct {
 	semi         *semiState
 	sweep        bool
 
+	// seedPairs, when non-nil, replaces the root/root seed with an explicit
+	// set of item pairs: the parallel path runs one engine per partition,
+	// each seeded with a disjoint slice of the top-level pair space.
+	seedPairs [][2]item
+	// scratch1 and scratch2 are reused across node expansions so that
+	// childItems does not allocate a fresh slice per expanded node.
+	scratch1, scratch2 []item
+
 	reported  int
 	skip      int  // results to silently re-skip after a restart
 	restarted bool // the §2.2.4 restart has been used
@@ -74,17 +83,26 @@ type engine struct {
 // newEngine validates options, builds the queue, and seeds it with the
 // root/root pair.
 func newEngine(t1, t2 SpatialIndex, opts Options, semi *semiState) (*engine, error) {
+	return newEngineSeeded(t1, t2, opts, semi, nil)
+}
+
+// newEngineSeeded is newEngine with an explicit seed set: instead of the
+// root/root pair, the queue starts from the given item pairs. The parallel
+// path uses this to hand each partition worker a disjoint slice of the
+// top-level pair space; nil seeds mean the ordinary root/root start.
+func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [][2]item) (*engine, error) {
 	if err := opts.validate(t1, t2, semi != nil); err != nil {
 		return nil, err
 	}
 	e := &engine{
-		t1:      t1,
-		t2:      t2,
-		opts:    opts,
-		dmin:    opts.MinDist,
-		dmaxCur: opts.MaxDist,
-		semi:    semi,
-		sweep:   !opts.NoPlaneSweep,
+		t1:        t1,
+		t2:        t2,
+		opts:      opts,
+		dmin:      opts.MinDist,
+		dmaxCur:   opts.MaxDist,
+		semi:      semi,
+		sweep:     !opts.NoPlaneSweep,
+		seedPairs: seeds,
 	}
 	if opts.MaxPairs > 0 {
 		if opts.Reverse {
@@ -139,8 +157,9 @@ func (e *engine) makeQueue() error {
 			Dir:      e.opts.HybridDir,
 			Counters: e.opts.Counters,
 		}
+		cfg.PageSize = e.opts.queuePageSize()
 		if e.opts.HybridInMemory {
-			store, err := pager.NewMemStore(4096)
+			store, err := pager.NewMemStore(cfg.PageSize)
 			if err != nil {
 				return err
 			}
@@ -157,7 +176,9 @@ func (e *engine) makeQueue() error {
 	return nil
 }
 
-// seed enqueues the initial root/root pair.
+// seed enqueues the initial pairs: the root/root pair by default, or the
+// explicit partition seeds when seedPairs is set. Either way the root refs
+// are recorded first — they stay exempt from min-fill counting.
 func (e *engine) seed() error {
 	r1, err := e.rootItem(e.t1)
 	if err != nil {
@@ -168,7 +189,15 @@ func (e *engine) seed() error {
 		return err
 	}
 	e.root1, e.root2 = r1.ref, r2.ref
-	return e.enqueue(r1, r2)
+	if e.seedPairs == nil {
+		return e.enqueue(r1, r2)
+	}
+	for _, sp := range e.seedPairs {
+		if err := e.enqueue(sp[0], sp[1]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // restart re-runs the query without the maximum-distance estimation — the
@@ -636,7 +665,8 @@ func (e *engine) expandSide(p qpair, side int) error {
 	if err != nil {
 		return err
 	}
-	children := e.childItems(n)
+	e.scratch1 = appendNodeItems(e.scratch1[:0], n, e.leafEntryKind())
+	children := e.scratch1
 
 	// Semi-join Local pruning (§4.2.1): when expanding a second-input
 	// node, any generated pair farther than the smallest d_max among the
@@ -671,21 +701,20 @@ func (e *engine) expandSide(p qpair, side int) error {
 	return nil
 }
 
-// childItems converts a node's entries into queue items.
-func (e *engine) childItems(n *IndexNode) []item {
+// appendNodeItems converts a node's entries into queue items, appending to
+// buf. Callers pass a per-engine scratch buffer so steady-state expansions
+// allocate nothing; the partitioner passes nil to build fresh slices.
+func appendNodeItems(buf []item, n *IndexNode, leafKind itemKind) []item {
 	if n.Leaf {
-		kind := e.leafEntryKind()
-		out := make([]item, len(n.Objects))
-		for i, o := range n.Objects {
-			out[i] = item{kind: kind, level: -1, ref: o.ID, rect: o.Rect}
+		for _, o := range n.Objects {
+			buf = append(buf, item{kind: leafKind, level: -1, ref: o.ID, rect: o.Rect})
 		}
-		return out
+		return buf
 	}
-	out := make([]item, len(n.Children))
-	for i, c := range n.Children {
-		out[i] = item{kind: kindNode, level: int8(c.Level), ref: c.Ref, rect: c.Rect}
+	for _, c := range n.Children {
+		buf = append(buf, item{kind: kindNode, level: int8(c.Level), ref: c.Ref, rect: c.Rect})
 	}
-	return out
+	return buf
 }
 
 // expandBoth processes both nodes of a node/node pair simultaneously
@@ -702,8 +731,10 @@ func (e *engine) expandBoth(p qpair) error {
 	if err != nil {
 		return err
 	}
-	c1 := e.childItems(n1)
-	c2 := e.childItems(n2)
+	kind := e.leafEntryKind()
+	e.scratch1 = appendNodeItems(e.scratch1[:0], n1, kind)
+	e.scratch2 = appendNodeItems(e.scratch2[:0], n2, kind)
+	c1, c2 := e.scratch1, e.scratch2
 
 	if e.sweep && !math.IsInf(e.dmaxCur, 1) {
 		// Restrict the search space: keep only entries within D_max of the
@@ -711,8 +742,11 @@ func (e *engine) expandBoth(p qpair) error {
 		c1 = e.withinOf(c1, p.i2.rect)
 		c2 = e.withinOf(c2, p.i1.rect)
 		// Plane sweep along axis 0 over entries sorted by low edge.
-		sort.Slice(c1, func(i, j int) bool { return c1[i].rect.Lo[0] < c1[j].rect.Lo[0] })
-		sort.Slice(c2, func(i, j int) bool { return c2[i].rect.Lo[0] < c2[j].rect.Lo[0] })
+		// slices.SortFunc avoids sort.Slice's reflection and per-call
+		// closure allocations on this hot path.
+		byLowEdge := func(a, b item) int { return cmp.Compare(a.rect.Lo[0], b.rect.Lo[0]) }
+		slices.SortFunc(c1, byLowEdge)
+		slices.SortFunc(c2, byLowEdge)
 		start := 0
 		for _, a := range c1 {
 			// Advance past entries that end before the sweep window.

@@ -6,12 +6,51 @@ import (
 	"distjoin/internal/rtree"
 )
 
+// runner is the execution strategy behind the public iterators: the
+// sequential incremental engine, or the partitioned parallel merge when
+// Options.Parallelism selects it and the configuration is sound for it.
+type runner interface {
+	next() (Pair, bool, error)
+	close() error
+	reportedCount() int
+	queueLen() int
+	effectiveMaxDist() float64
+	didRestart() bool
+}
+
+// runner implementation on the sequential engine.
+func (e *engine) reportedCount() int        { return e.reported }
+func (e *engine) queueLen() int             { return e.q.Len() }
+func (e *engine) effectiveMaxDist() float64 { return e.dmaxCur }
+func (e *engine) didRestart() bool          { return e.restarted }
+
+// newRunner validates the options and picks the execution strategy. The
+// parallel path is chosen when the effective parallelism exceeds one, the
+// configuration is parallelizable (see parallelizable), both inputs are
+// non-empty, and the trees have enough top-level fan-out to partition;
+// every other case falls back to the sequential engine, transparently.
+func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, error) {
+	if err := opts.validate(t1, t2, semi != nil); err != nil {
+		return nil, err
+	}
+	if parallelizable(&opts, semi) && t1.NumObjects() > 0 && t2.NumObjects() > 0 {
+		r, err := newParallelJoin(t1, t2, opts, semi)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return r, nil
+		}
+	}
+	return newEngine(t1, t2, opts, semi)
+}
+
 // Join is an incremental distance join iterator: it reports the pairs of
 // the Cartesian product of the two indexed inputs in ascending order of
 // distance (descending when Options.Reverse is set), one pair per Next
 // call, computing only as much of the join as the caller consumes.
 type Join struct {
-	e *engine
+	r runner
 }
 
 // NewJoin creates an incremental distance join of two R-trees. The trees
@@ -26,11 +65,11 @@ func NewJoin(t1, t2 *rtree.Tree, opts Options) (*Join, error) {
 // generality claim (§2.2): the same algorithm drives R-trees, quadtrees and
 // other hierarchical decompositions, in any combination.
 func NewJoinIndexes(t1, t2 SpatialIndex, opts Options) (*Join, error) {
-	e, err := newEngine(t1, t2, opts, nil)
+	r, err := newRunner(t1, t2, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Join{e: e}, nil
+	return &Join{r: r}, nil
 }
 
 // wrapTree adapts an R-tree, preserving nil for validation.
@@ -43,31 +82,37 @@ func wrapTree(t *rtree.Tree) SpatialIndex {
 
 // Next returns the next closest pair. ok is false when the join is
 // exhausted (or the MaxPairs bound is reached).
-func (j *Join) Next() (p Pair, ok bool, err error) { return j.e.next() }
+func (j *Join) Next() (p Pair, ok bool, err error) { return j.r.next() }
 
 // Reported returns the number of pairs delivered so far.
-func (j *Join) Reported() int { return j.e.reported }
+func (j *Join) Reported() int { return j.r.reportedCount() }
 
-// QueueLen returns the current priority-queue size (diagnostic).
-func (j *Join) QueueLen() int { return j.e.q.Len() }
+// QueueLen returns the current priority-queue size (diagnostic). On the
+// parallel path it is the number of merged-but-undelivered result pairs
+// rather than a priority-queue size (the partition queues belong to
+// running workers).
+func (j *Join) QueueLen() int { return j.r.queueLen() }
 
 // EffectiveMaxDist returns the maximum distance currently in force: the
-// configured maximum, possibly tightened by the §2.2.4 estimation.
-func (j *Join) EffectiveMaxDist() float64 { return j.e.dmaxCur }
+// configured maximum, possibly tightened by the §2.2.4 estimation. On the
+// parallel path each partition tightens its own bound, so this reports the
+// configured maximum.
+func (j *Join) EffectiveMaxDist() float64 { return j.r.effectiveMaxDist() }
 
 // Restarted reports whether the engine used the §2.2.4 restart (the
-// estimation had over-tightened the maximum distance). Diagnostic.
-func (j *Join) Restarted() bool { return j.e.restarted }
+// estimation had over-tightened the maximum distance); on the parallel
+// path, whether any partition did. Diagnostic.
+func (j *Join) Restarted() bool { return j.r.didRestart() }
 
 // Close releases queue resources (the hybrid queue's scratch file). The
 // iterator must not be used afterwards.
-func (j *Join) Close() error { return j.e.close() }
+func (j *Join) Close() error { return j.r.close() }
 
 // SemiJoin is an incremental distance semi-join iterator (§2.3): for each
 // first-input object, its nearest second-input object, reported in
 // ascending order of distance.
 type SemiJoin struct {
-	e *engine
+	r runner
 }
 
 // NewSemiJoin creates an incremental distance semi-join of two R-trees
@@ -107,11 +152,11 @@ func NewClusteringJoinIndexes(t1, t2 SpatialIndex, filter SemiFilter, opts Optio
 	if filter < FilterOutside || filter > FilterGlobalAll {
 		return nil, errInvalidFilter(filter)
 	}
-	e, err := newEngine(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
+	r, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{e: e}, nil
+	return &SemiJoin{r: r}, nil
 }
 
 // NewKNearestJoinIndexes is NewKNearestJoin over arbitrary SpatialIndex
@@ -124,29 +169,31 @@ func NewKNearestJoinIndexes(t1, t2 SpatialIndex, k int, filter SemiFilter, opts 
 	if k < 1 {
 		return nil, errors.New("distjoin: k must be at least 1")
 	}
-	e, err := newEngine(t1, t2, opts, &semiState{filter: filter, k: k})
+	r, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: k})
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{e: e}, nil
+	return &SemiJoin{r: r}, nil
 }
 
 // Next returns the next semi-join pair. ok is false when every first-input
 // object has been reported (or MaxPairs was reached, or no partner exists
 // within the distance range).
-func (s *SemiJoin) Next() (p Pair, ok bool, err error) { return s.e.next() }
+func (s *SemiJoin) Next() (p Pair, ok bool, err error) { return s.r.next() }
 
 // Reported returns the number of pairs delivered so far.
-func (s *SemiJoin) Reported() int { return s.e.reported }
+func (s *SemiJoin) Reported() int { return s.r.reportedCount() }
 
-// QueueLen returns the current priority-queue size (diagnostic).
-func (s *SemiJoin) QueueLen() int { return s.e.q.Len() }
+// QueueLen returns the current priority-queue size (diagnostic); see
+// Join.QueueLen for the parallel-path meaning.
+func (s *SemiJoin) QueueLen() int { return s.r.queueLen() }
 
-// Restarted reports whether the engine used the §2.2.4 restart. Diagnostic.
-func (s *SemiJoin) Restarted() bool { return s.e.restarted }
+// Restarted reports whether the engine used the §2.2.4 restart (any
+// partition, on the parallel path). Diagnostic.
+func (s *SemiJoin) Restarted() bool { return s.r.didRestart() }
 
 // Close releases queue resources.
-func (s *SemiJoin) Close() error { return s.e.close() }
+func (s *SemiJoin) Close() error { return s.r.close() }
 
 func errInvalidFilter(f SemiFilter) error {
 	return &filterError{f: f}

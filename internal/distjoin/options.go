@@ -162,6 +162,43 @@ type Options struct {
 	ExactDist func(o1, o2 rtree.ObjID) (float64, error)
 	// Counters receives the Table 1 measures. May be nil.
 	Counters *stats.Counters
+	// Parallelism selects the parallel execution path: the top of the two
+	// trees is partitioned into disjoint slices of the pair space, one
+	// incremental engine runs per partition on its own goroutine, and the
+	// per-partition result streams are merged back into a single
+	// distance-ordered stream (see internal/distjoin/parallel.go).
+	//
+	// 0 and 1 select the sequential path (the default). Values above 1 run
+	// that many workers. ParallelismAuto (any negative value) uses
+	// runtime.GOMAXPROCS(0).
+	//
+	// Configurations the parallel path cannot run soundly — OBR mode
+	// (Fetch1/Fetch2/ExactDist) and the symmetric clustering join — fall
+	// back to the sequential path transparently. Select1/Select2 predicates
+	// and custom Metrics are called from multiple goroutines when
+	// Parallelism is enabled and must be safe for concurrent use (the
+	// built-in metrics are).
+	Parallelism int
+	// QueuePageSize is the page size in bytes of the hybrid queue's disk
+	// tier (default 4096). Larger pages batch more spilled pairs per I/O;
+	// smaller pages waste less memory on many near-empty partitions.
+	QueuePageSize int
+}
+
+// ParallelismAuto selects one worker per available CPU
+// (runtime.GOMAXPROCS) when assigned to Options.Parallelism.
+const ParallelismAuto = -1
+
+// defaultQueuePageSize is the hybrid queue's disk-tier page size when
+// Options.QueuePageSize is unset.
+const defaultQueuePageSize = 4096
+
+// queuePageSize returns the effective hybrid-queue page size.
+func (o *Options) queuePageSize() int {
+	if o.QueuePageSize > 0 {
+		return o.QueuePageSize
+	}
+	return defaultQueuePageSize
 }
 
 // SemiFilter is the semi-join filtering ladder of §4.2.1, ordered by
@@ -227,6 +264,9 @@ func (o *Options) validate(t1, t2 SpatialIndex, semi bool) error {
 	}
 	if o.MaxPairs < 0 {
 		return errors.New("distjoin: MaxPairs must be non-negative")
+	}
+	if o.QueuePageSize < 0 {
+		return errors.New("distjoin: QueuePageSize must be non-negative")
 	}
 	if (o.Fetch1 == nil) != (o.Fetch2 == nil) {
 		return errors.New("distjoin: Fetch1 and Fetch2 must be set together")

@@ -1,0 +1,449 @@
+package distjoin
+
+import (
+	"cmp"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"distjoin/internal/stats"
+)
+
+// This file implements the parallel execution path of the distance join and
+// distance semi-join. The paper's algorithms (Figures 3 and 5) are
+// inherently sequential — one priority queue, one executor — but their
+// queue-of-pairs design composes naturally with partition-based parallelism
+// (Tsitsigkos & Mamoulis, "Parallel In-Memory Evaluation of Spatial Joins"):
+// the top of the two trees is split into disjoint slices of the pair space,
+// one independent incremental engine runs per slice, and because every
+// engine emits ITS OWN results in distance order, a k-way merge of the
+// per-partition streams reproduces the global distance order.
+//
+// Partitioning. Each object lives in exactly one leaf, so the subtrees
+// rooted at the children of an index root cover the input disjointly.
+// Pairing root children of the first input with the whole second input
+// (or, when the first root's fan-out is too small, with the root children
+// of the second input) therefore tiles the Cartesian product exactly once.
+// Shallow trees need no special grid: when a root is a leaf its "children"
+// are the objects themselves, and the same construction applies. Seed pairs
+// are dealt round-robin, ordered by minimum distance, so every worker owns
+// some near and some far slices of the pair space.
+//
+// Order-preserving merge. Worker w produces a non-decreasing (by the join
+// order; non-increasing for Reverse) stream of result pairs into a bounded
+// channel. The merge keeps one head per live stream in a small heap and
+// only releases the overall minimum — a pair is delivered exactly when its
+// distance is at or inside every live partition's current frontier, so the
+// merged stream is ordered precisely like the sequential iterator's.
+// Distance ties are broken by (Obj1, Obj2), which matches the sequential
+// engine's queue tie-breaking for object pairs; only when two results have
+// EXACTLY equal distance can the interleaving differ (the sequential engine
+// may emit an equal-distance pair generated later by a node expansion after
+// one popped earlier).
+//
+// The bounded channels double as the speculation limit: a partition whose
+// frontier is far away computes at most parallelBuffer results ahead of
+// what the merge has released, so a MaxPairs-bounded query does not drag
+// every partition to completion.
+
+// parallelBuffer is the per-worker result channel capacity: how far a
+// partition may compute ahead of the merge frontier.
+const parallelBuffer = 64
+
+// effectiveParallelism resolves Options.Parallelism to a worker count.
+func (o *Options) effectiveParallelism() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+// parallelizable reports whether the configuration can run on the parallel
+// path. OBR mode is excluded because resolveOBR's report-immediately
+// shortcut gives equal-distance results a queue-position-dependent order
+// that a distance-keyed merge cannot reproduce (and Fetch/ExactDist
+// callbacks would need to be concurrency-safe); the symmetric clustering
+// join is excluded because a reported pair consumes objects on BOTH sides,
+// coupling every partition to every other.
+func parallelizable(opts *Options, semi *semiState) bool {
+	if opts.effectiveParallelism() < 2 {
+		return false
+	}
+	if opts.Fetch1 != nil || opts.Fetch2 != nil || opts.ExactDist != nil {
+		return false
+	}
+	if semi != nil && semi.symmetric {
+		return false
+	}
+	return true
+}
+
+// planPartitions builds up to `groups` disjoint seed sets covering the
+// top-level pair space. For the semi-join only the first input may be
+// partitioned (each first object must see the whole second input, which it
+// does when its partner item is the second root). For the plain join the
+// first root's children are paired with the whole second root when that
+// already yields enough partitions, and with the second root's children
+// otherwise. Returns nil when the trees are too small to split.
+func planPartitions(t1, t2 SpatialIndex, opts *Options, semi bool, groups int) ([][][2]item, error) {
+	top := func(t SpatialIndex) (item, []item, error) {
+		root, err := t.Root()
+		if err != nil {
+			return item{}, nil, err
+		}
+		ri := item{kind: kindNode, level: int8(root.Level), ref: root.Ref, rect: root.Rect}
+		n, err := t.Node(root.Ref)
+		if err != nil {
+			return item{}, nil, err
+		}
+		return ri, appendNodeItems(nil, n, kindObj), nil
+	}
+	_, c1, err := top(t1)
+	if err != nil {
+		return nil, err
+	}
+	root2, err := t2.Root()
+	if err != nil {
+		return nil, err
+	}
+	r2 := item{kind: kindNode, level: int8(root2.Level), ref: root2.Ref, rect: root2.Rect}
+
+	var seeds [][2]item
+	if semi || len(c1) >= 2*groups {
+		seeds = make([][2]item, 0, len(c1))
+		for _, a := range c1 {
+			seeds = append(seeds, [2]item{a, r2})
+		}
+	} else {
+		_, c2, err := top(t2)
+		if err != nil {
+			return nil, err
+		}
+		seeds = make([][2]item, 0, len(c1)*len(c2))
+		for _, a := range c1 {
+			for _, b := range c2 {
+				seeds = append(seeds, [2]item{a, b})
+			}
+		}
+	}
+	if len(seeds) < 2 {
+		return nil, nil
+	}
+	if groups > len(seeds) {
+		groups = len(seeds)
+	}
+
+	// Deal seeds round-robin in ascending minimum-distance order so each
+	// worker owns a mix of near and far slices of the pair space.
+	ks := make([]seedKey, len(seeds))
+	for i, sp := range seeds {
+		ks[i] = seedKey{seed: sp, key: opts.Metric.MinDist(sp[0].rect, sp[1].rect)}
+	}
+	slices.SortFunc(ks, func(a, b seedKey) int {
+		if a.key != b.key {
+			return cmp.Compare(a.key, b.key)
+		}
+		if a.seed[0].ref != b.seed[0].ref {
+			return cmp.Compare(a.seed[0].ref, b.seed[0].ref)
+		}
+		return cmp.Compare(a.seed[1].ref, b.seed[1].ref)
+	})
+	parts := make([][][2]item, groups)
+	for i, k := range ks {
+		g := i % groups
+		parts[g] = append(parts[g], k.seed)
+	}
+	return parts, nil
+}
+
+// seedKey orders partition seeds by (minimum distance, refs) — a
+// deterministic order independent of tree layout accidents.
+type seedKey struct {
+	seed [2]item
+	key  float64
+}
+
+// parResult is one element of a worker's output stream.
+type parResult struct {
+	pair Pair
+	err  error
+}
+
+// parWorker runs one partition engine on its own goroutine.
+type parWorker struct {
+	eng   *engine
+	out   chan parResult
+	shard *stats.Counters // per-worker counter shard; nil when disabled
+}
+
+// parHead is one stream head tracked by the merge heap.
+type parHead struct {
+	pair Pair
+	src  int
+}
+
+// parallelJoin is the runner behind Join/SemiJoin when Options.Parallelism
+// selects the parallel path.
+type parallelJoin struct {
+	workers  []*parWorker
+	reverse  bool
+	maxPairs int
+	maxDist  float64
+	user     *stats.Counters // caller's counters, merge target for shards
+
+	done     chan struct{} // closed to cancel workers
+	stop     sync.Once
+	wg       sync.WaitGroup
+	heads    []parHead // merge heap of stream heads
+	started  bool
+	finished bool
+	nOut     int // pairs delivered to the caller
+
+	anyRestart atomic.Bool
+	closeMu    sync.Mutex
+	closeErr   error
+}
+
+// newParallelJoin builds the partition engines and starts the workers. The
+// caller has already validated opts and established that both inputs are
+// non-empty and the configuration is parallelizable. Returns (nil, nil)
+// when the trees have too little top-level fan-out to split — the caller
+// falls back to the sequential engine.
+func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*parallelJoin, error) {
+	parts, err := planPartitions(t1, t2, &opts, semiProto != nil, opts.effectiveParallelism())
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) < 2 {
+		return nil, nil
+	}
+	r := &parallelJoin{
+		reverse:  opts.Reverse,
+		maxPairs: opts.MaxPairs,
+		maxDist:  opts.MaxDist,
+		user:     opts.Counters,
+		done:     make(chan struct{}),
+	}
+	for _, seeds := range parts {
+		w := &parWorker{out: make(chan parResult, parallelBuffer)}
+		wopts := opts
+		if opts.Counters != nil {
+			w.shard = &stats.Counters{}
+			wopts.Counters = w.shard
+		}
+		var wsemi *semiState
+		if semiProto != nil {
+			wsemi = &semiState{filter: semiProto.filter, k: semiProto.k, symmetric: semiProto.symmetric}
+		}
+		eng, err := newEngineSeeded(t1, t2, wopts, wsemi, seeds)
+		if err != nil {
+			for _, prev := range r.workers {
+				prev.eng.close()
+			}
+			return nil, err
+		}
+		w.eng = eng
+		r.workers = append(r.workers, w)
+	}
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go r.run(w)
+	}
+	return r, nil
+}
+
+// run drives one partition engine to exhaustion (or cancellation), then
+// releases its resources and folds its counter shard into the caller's.
+func (r *parallelJoin) run(w *parWorker) {
+	defer r.wg.Done()
+	defer func() {
+		if w.eng.restarted {
+			r.anyRestart.Store(true)
+		}
+		if err := w.eng.close(); err != nil {
+			r.setCloseErr(err)
+		}
+		if w.shard != nil {
+			r.user.Merge(w.shard)
+		}
+	}()
+	defer close(w.out)
+	for {
+		p, ok, err := w.eng.next()
+		if err != nil {
+			select {
+			case w.out <- parResult{err: err}:
+			case <-r.done:
+			}
+			return
+		}
+		if !ok {
+			return
+		}
+		select {
+		case w.out <- parResult{pair: p}:
+		case <-r.done:
+			return
+		}
+	}
+}
+
+func (r *parallelJoin) setCloseErr(err error) {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	if r.closeErr == nil {
+		r.closeErr = err
+	}
+}
+
+// headLess orders stream heads exactly like the sequential engine orders
+// reportable object pairs: by distance (inverted for Reverse), then by the
+// two object references.
+func (r *parallelJoin) headLess(a, b parHead) bool {
+	if a.pair.Dist != b.pair.Dist {
+		if r.reverse {
+			return a.pair.Dist > b.pair.Dist
+		}
+		return a.pair.Dist < b.pair.Dist
+	}
+	if a.pair.Obj1 != b.pair.Obj1 {
+		return a.pair.Obj1 < b.pair.Obj1
+	}
+	return a.pair.Obj2 < b.pair.Obj2
+}
+
+// pushHead inserts a stream head into the merge heap.
+func (r *parallelJoin) pushHead(h parHead) {
+	r.heads = append(r.heads, h)
+	i := len(r.heads) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.headLess(r.heads[i], r.heads[parent]) {
+			break
+		}
+		r.heads[i], r.heads[parent] = r.heads[parent], r.heads[i]
+		i = parent
+	}
+}
+
+// popHead removes and returns the minimum stream head.
+func (r *parallelJoin) popHead() parHead {
+	top := r.heads[0]
+	last := len(r.heads) - 1
+	r.heads[0] = r.heads[last]
+	r.heads = r.heads[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(r.heads) && r.headLess(r.heads[l], r.heads[smallest]) {
+			smallest = l
+		}
+		if rt < len(r.heads) && r.headLess(r.heads[rt], r.heads[smallest]) {
+			smallest = rt
+		}
+		if smallest == i {
+			return top
+		}
+		r.heads[i], r.heads[smallest] = r.heads[smallest], r.heads[i]
+		i = smallest
+	}
+}
+
+// pull blocks for the next result of worker src and pushes it onto the
+// heap; a closed stream simply drops out of the merge.
+func (r *parallelJoin) pull(src int) error {
+	res, ok := <-r.workers[src].out
+	if !ok {
+		return nil
+	}
+	if res.err != nil {
+		return res.err
+	}
+	r.pushHead(parHead{pair: res.pair, src: src})
+	return nil
+}
+
+// next implements the order-preserving merge.
+func (r *parallelJoin) next() (Pair, bool, error) {
+	if r.finished {
+		return Pair{}, false, nil
+	}
+	if !r.started {
+		r.started = true
+		for i := range r.workers {
+			if err := r.pull(i); err != nil {
+				return Pair{}, false, r.fail(err)
+			}
+		}
+	}
+	if r.maxPairs > 0 && r.nOut >= r.maxPairs {
+		r.finish()
+		return Pair{}, false, nil
+	}
+	if len(r.heads) == 0 {
+		r.finish()
+		return Pair{}, false, nil
+	}
+	h := r.popHead()
+	if err := r.pull(h.src); err != nil {
+		return Pair{}, false, r.fail(err)
+	}
+	r.nOut++
+	if r.maxPairs > 0 && r.nOut >= r.maxPairs {
+		r.finish()
+	}
+	return h.pair, true, nil
+}
+
+// finish cancels outstanding work and waits for the workers to release
+// their engines (queues, scratch files, counter shards).
+func (r *parallelJoin) finish() {
+	r.finished = true
+	r.stop.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// fail is finish for the error path.
+func (r *parallelJoin) fail(err error) error {
+	r.finish()
+	return err
+}
+
+// close implements runner.
+func (r *parallelJoin) close() error {
+	r.finish()
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	return r.closeErr
+}
+
+// reportedCount implements runner: the number of pairs delivered by the
+// merge (the per-engine counts include speculative buffered results).
+func (r *parallelJoin) reportedCount() int { return r.nOut }
+
+// queueLen implements runner. The partition queues belong to running
+// goroutines and cannot be inspected safely, so the parallel diagnostic is
+// the number of produced-but-undelivered results: merge heads plus pairs
+// buffered in the worker channels.
+func (r *parallelJoin) queueLen() int {
+	n := len(r.heads)
+	for _, w := range r.workers {
+		n += len(w.out)
+	}
+	return n
+}
+
+// effectiveMaxDist implements runner. Each partition tightens its own
+// bound concurrently; the configured maximum is the only stable global
+// value.
+func (r *parallelJoin) effectiveMaxDist() float64 { return r.maxDist }
+
+// didRestart implements runner: whether any partition used the §2.2.4
+// restart.
+func (r *parallelJoin) didRestart() bool { return r.anyRestart.Load() }

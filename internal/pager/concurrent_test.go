@@ -1,0 +1,107 @@
+package pager
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingSink is a concurrency-safe IOCounter for the stress test.
+type countingSink struct {
+	reads, writes, hits int64
+}
+
+func (s *countingSink) AddRead(n int64)  { atomic.AddInt64(&s.reads, n) }
+func (s *countingSink) AddWrite(n int64) { atomic.AddInt64(&s.writes, n) }
+func (s *countingSink) AddHit(n int64)   { atomic.AddInt64(&s.hits, n) }
+
+// TestPoolConcurrentReaders hammers one pool from many goroutines — the
+// access pattern of the parallel join's partition workers sharing a tree's
+// buffer pool — and checks under -race that every reader always sees the
+// page bytes that were written. The pool is far smaller than the page set,
+// so the workers continuously evict each other's victims.
+func TestPoolConcurrentReaders(t *testing.T) {
+	const (
+		pageSize = 64
+		nPages   = 200
+		// Big enough that the up-to-16 simultaneously pinned frames can
+		// never exhaust it (ErrAllPinned), small enough to force constant
+		// eviction traffic.
+		capacity = 24
+		workers  = 8
+		opsEach  = 3000
+	)
+	store, err := NewMemStore(pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &countingSink{}
+	pool, err := NewPool(store, capacity, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the pages single-goroutine, each stamped with its own id.
+	ids := make([]PageID, nPages)
+	for i := range ids {
+		f, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(f.Data(), uint64(f.ID()))
+		f.MarkDirty()
+		ids[i] = f.ID()
+		pool.Unpin(f)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			pinned := make([]*Frame, 0, 2)
+			for op := 0; op < opsEach; op++ {
+				// Hold up to two pins at a time so frames overlap between
+				// workers and pinned frames get exercised against eviction.
+				if len(pinned) == 2 || (len(pinned) > 0 && rnd.Intn(2) == 0) {
+					last := len(pinned) - 1
+					pool.Unpin(pinned[last])
+					pinned = pinned[:last]
+					continue
+				}
+				id := ids[rnd.Intn(nPages)]
+				f, err := pool.Get(id)
+				if err != nil {
+					errs <- err
+					break
+				}
+				if got := PageID(binary.LittleEndian.Uint64(f.Data())); got != id {
+					t.Errorf("page %d read back as %d", id, got)
+					pool.Unpin(f)
+					break
+				}
+				pinned = append(pinned, f)
+				if op%64 == 0 {
+					pool.Resident() // mix in the read-only diagnostics
+				}
+			}
+			for _, f := range pinned {
+				pool.Unpin(f)
+			}
+		}(int64(w) * 977)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&sink.reads) == 0 || atomic.LoadInt64(&sink.hits) == 0 {
+		t.Errorf("expected both misses and hits, got reads=%d hits=%d", sink.reads, sink.hits)
+	}
+}

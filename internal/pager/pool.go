@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrAllPinned is returned when every frame in the pool is pinned and a new
@@ -47,8 +48,18 @@ func (f *Frame) MarkDirty() { f.dirty = true }
 
 // Pool is an LRU buffer pool over a Store. It counts physical reads and
 // writes into a stats.Counters, which is how the reproduction measures the
-// paper's "node I/O" column. Not safe for concurrent use.
+// paper's "node I/O" column.
+//
+// The pool is safe for concurrent use: all frame-table and store accesses
+// are serialized under an internal mutex, so multiple readers (e.g. the
+// partition workers of a parallel distance join) may share one pool. A
+// pinned frame cannot be evicted, so the bytes returned by Frame.Data stay
+// valid (and, for read-only workloads, race-free) until Unpin. Concurrent
+// WRITERS of the same page must coordinate among themselves — the join
+// engines never modify index pages, and index construction remains
+// single-goroutine.
 type Pool struct {
+	mu       sync.Mutex
 	store    Store
 	capacity int
 	frames   map[PageID]*Frame
@@ -71,17 +82,28 @@ func NewPool(store Store, capacity int, counters IOCounter) (*Pool, error) {
 	}, nil
 }
 
-// Store returns the underlying page store.
+// Store returns the underlying page store. The store itself is not
+// synchronized; callers must not access it while pool operations are in
+// flight on other goroutines.
 func (p *Pool) Store() Store { return p.store }
 
 // Capacity returns the number of frames.
 func (p *Pool) Capacity() int { return p.capacity }
 
 // Resident returns the number of pages currently buffered.
-func (p *Pool) Resident() int { return len(p.frames) }
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
 
-// Get pins the page into a frame, reading it from the store on a miss.
+// Get pins the page into a frame, reading it from the store on a miss. The
+// page bytes are fully read before Get returns, and the frame stays pinned
+// (hence unevictable) until Unpin, so concurrent Gets of the same page may
+// share the frame.
 func (p *Pool) Get(id PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		if p.counters != nil {
 			p.counters.AddHit(1)
@@ -106,6 +128,8 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 // Allocate creates a new page in the store and returns it pinned. The fresh
 // page is zeroed and marked dirty so it reaches the store on eviction.
 func (p *Pool) Allocate() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	id, err := p.store.Allocate()
 	if err != nil {
 		return nil, err
@@ -144,6 +168,8 @@ func (p *Pool) pin(f *Frame) {
 // Unpin releases one pin on f. When the pin count reaches zero the frame
 // becomes eligible for eviction.
 func (p *Pool) Unpin(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f.pins <= 0 {
 		panic(fmt.Sprintf("pager: unpin of unpinned frame %d", f.id))
 	}
@@ -181,6 +207,8 @@ func (p *Pool) discard(f *Frame) {
 // Drop removes the page from the pool without write-back and frees it in the
 // store. The page must not be pinned.
 func (p *Pool) Drop(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		if f.pins > 0 {
 			return fmt.Errorf("pager: dropping pinned page %d", id)
@@ -195,6 +223,12 @@ func (p *Pool) Drop(id PageID) error {
 
 // FlushAll writes back every dirty frame (pinned or not) without evicting.
 func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushAllLocked()
+}
+
+func (p *Pool) flushAllLocked() error {
 	for _, f := range p.frames {
 		if f.dirty {
 			if err := p.store.WritePage(f.id, f.data); err != nil {
@@ -214,12 +248,14 @@ func (p *Pool) FlushAll() error {
 // node I/O counts comparable across runs that share a tree. It fails if any
 // frame is pinned.
 func (p *Pool) Reset() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.pins > 0 {
 			return fmt.Errorf("pager: reset with pinned page %d", f.id)
 		}
 	}
-	if err := p.FlushAll(); err != nil {
+	if err := p.flushAllLocked(); err != nil {
 		return err
 	}
 	p.frames = make(map[PageID]*Frame, p.capacity)
@@ -230,6 +266,8 @@ func (p *Pool) Reset() error {
 // SetCounters swaps the counter sink, returning the previous one. This lets
 // an experiment attach fresh counters to an already-built tree.
 func (p *Pool) SetCounters(c IOCounter) IOCounter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	old := p.counters
 	p.counters = c
 	return old

@@ -35,8 +35,9 @@ var (
 )
 
 // Store is a flat collection of fixed-size pages with allocate/free.
-// Implementations are not safe for concurrent use; the query algorithms in
-// this repository are single-goroutine.
+// Implementations are not required to be safe for concurrent use: every
+// access from query execution goes through a Pool, which serializes store
+// calls under its own lock.
 type Store interface {
 	// PageSize returns the fixed size of every page in bytes.
 	PageSize() int

@@ -50,7 +50,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Tree is a disk-paged R*-tree. Not safe for concurrent use.
+// Tree is a disk-paged R*-tree. Mutation (Insert, Delete, bulk loading) is
+// single-goroutine, but a fully built tree supports concurrent readers:
+// ReadNode and the search/join traversals built on it go through the buffer
+// pool, which serializes frame management internally — this is what lets the
+// parallel partitioned distance join share one tree among its workers.
 type Tree struct {
 	cfg        Config
 	pool       *pager.Pool

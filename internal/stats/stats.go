@@ -3,15 +3,22 @@
 // number of object distance calculations, the maximum priority-queue size,
 // and the number of node I/O operations, plus wall-clock timing helpers.
 //
-// Counters are plain integers: the algorithms in this repository are
-// single-goroutine by design (they model a single query executor), so no
-// synchronization is needed. A nil *Counters is valid everywhere and records
-// nothing, so instrumentation can be disabled without branching at call
-// sites.
+// Counters are updated with sync/atomic operations, so a single Counters
+// value may be shared by concurrent query executors — the parallel
+// partitioned join runs one engine per partition over shared buffer pools,
+// and all of them account into the same sink. Single-goroutine callers pay
+// only the (uncontended) atomic cost. The exported fields remain plain
+// int64s for compatibility: reading them directly is fine once all workers
+// have finished (or via Snapshot at any time); concurrent direct writes are
+// not. Per-worker counter shards can be combined with Merge.
+//
+// A nil *Counters is valid everywhere and records nothing, so
+// instrumentation can be disabled without branching at call sites.
 package stats
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"distjoin/internal/pager"
@@ -37,7 +44,8 @@ type Counters struct {
 	// QueuePops counts priority-queue removals.
 	QueuePops int64
 	// MaxQueueSize is the high-water mark of the priority-queue size
-	// ("Queue Size" in Table 1).
+	// ("Queue Size" in Table 1). When several engines share one Counters,
+	// it is the largest size any single queue reached.
 	MaxQueueSize int64
 	// QueueDiskPairs counts pairs spilled to the disk tier of the hybrid
 	// queue.
@@ -58,41 +66,51 @@ func (c *Counters) NodeIO() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.NodeReads + c.NodeWrites
+	return atomic.LoadInt64(&c.NodeReads) + atomic.LoadInt64(&c.NodeWrites)
 }
 
 // AddDistCalc records n object distance computations.
 func (c *Counters) AddDistCalc(n int64) {
 	if c != nil {
-		c.DistCalcs += n
+		atomic.AddInt64(&c.DistCalcs, n)
 	}
 }
 
 // AddNodeDistCalc records n node distance computations.
 func (c *Counters) AddNodeDistCalc(n int64) {
 	if c != nil {
-		c.NodeDistCalcs += n
+		atomic.AddInt64(&c.NodeDistCalcs, n)
 	}
 }
 
 // AddNodeRead records n node read I/Os.
 func (c *Counters) AddNodeRead(n int64) {
 	if c != nil {
-		c.NodeReads += n
+		atomic.AddInt64(&c.NodeReads, n)
 	}
 }
 
 // AddNodeWrite records n node write I/Os.
 func (c *Counters) AddNodeWrite(n int64) {
 	if c != nil {
-		c.NodeWrites += n
+		atomic.AddInt64(&c.NodeWrites, n)
 	}
 }
 
 // AddBufferHit records n buffer-pool hits.
 func (c *Counters) AddBufferHit(n int64) {
 	if c != nil {
-		c.BufferHits += n
+		atomic.AddInt64(&c.BufferHits, n)
+	}
+}
+
+// maxInt64 raises *addr to at least v.
+func maxInt64(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
 	}
 }
 
@@ -102,53 +120,94 @@ func (c *Counters) QueueInsert(newSize int64) {
 	if c == nil {
 		return
 	}
-	c.QueueInserts++
-	if newSize > c.MaxQueueSize {
-		c.MaxQueueSize = newSize
-	}
+	atomic.AddInt64(&c.QueueInserts, 1)
+	maxInt64(&c.MaxQueueSize, newSize)
 }
 
 // QueuePop records a queue removal.
 func (c *Counters) QueuePop() {
 	if c != nil {
-		c.QueuePops++
+		atomic.AddInt64(&c.QueuePops, 1)
 	}
 }
 
 // AddQueueDiskPair records n pairs spilled to disk.
 func (c *Counters) AddQueueDiskPair(n int64) {
 	if c != nil {
-		c.QueueDiskPairs += n
+		atomic.AddInt64(&c.QueueDiskPairs, n)
 	}
 }
 
 // ReportPair records a result pair delivered to the caller.
 func (c *Counters) ReportPair() {
 	if c != nil {
-		c.PairsReported++
+		atomic.AddInt64(&c.PairsReported, 1)
 	}
 }
 
 // Filter records n pairs pruned before insertion.
 func (c *Counters) Filter(n int64) {
 	if c != nil {
-		c.Filtered += n
+		atomic.AddInt64(&c.Filtered, n)
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters. Not atomic as a whole: do not race Reset with
+// concurrent recorders.
 func (c *Counters) Reset() {
 	if c != nil {
 		*c = Counters{}
 	}
 }
 
-// Snapshot returns a copy of the current counter values.
+// Snapshot returns a consistent-enough copy of the current counter values
+// (each field is loaded atomically; fields may be skewed relative to each
+// other while recorders are running).
 func (c *Counters) Snapshot() Counters {
 	if c == nil {
 		return Counters{}
 	}
-	return *c
+	return Counters{
+		DistCalcs:      atomic.LoadInt64(&c.DistCalcs),
+		NodeDistCalcs:  atomic.LoadInt64(&c.NodeDistCalcs),
+		NodeReads:      atomic.LoadInt64(&c.NodeReads),
+		NodeWrites:     atomic.LoadInt64(&c.NodeWrites),
+		BufferHits:     atomic.LoadInt64(&c.BufferHits),
+		QueueInserts:   atomic.LoadInt64(&c.QueueInserts),
+		QueuePops:      atomic.LoadInt64(&c.QueuePops),
+		MaxQueueSize:   atomic.LoadInt64(&c.MaxQueueSize),
+		QueueDiskPairs: atomic.LoadInt64(&c.QueueDiskPairs),
+		QueueReads:     atomic.LoadInt64(&c.QueueReads),
+		QueueWrites:    atomic.LoadInt64(&c.QueueWrites),
+		PairsReported:  atomic.LoadInt64(&c.PairsReported),
+		Filtered:       atomic.LoadInt64(&c.Filtered),
+	}
+}
+
+// Merge folds the counts of other into c: additive fields are summed and
+// MaxQueueSize takes the maximum of the two high-water marks (queues are
+// independent, so their peak sizes do not add). The parallel join gives each
+// partition worker its own shard and merges the shards into the caller's
+// Counters as workers finish. other is read atomically; merging a shard
+// still being written to yields a momentary partial view, not corruption.
+func (c *Counters) Merge(other *Counters) {
+	if c == nil || other == nil {
+		return
+	}
+	o := other.Snapshot()
+	atomic.AddInt64(&c.DistCalcs, o.DistCalcs)
+	atomic.AddInt64(&c.NodeDistCalcs, o.NodeDistCalcs)
+	atomic.AddInt64(&c.NodeReads, o.NodeReads)
+	atomic.AddInt64(&c.NodeWrites, o.NodeWrites)
+	atomic.AddInt64(&c.BufferHits, o.BufferHits)
+	atomic.AddInt64(&c.QueueInserts, o.QueueInserts)
+	atomic.AddInt64(&c.QueuePops, o.QueuePops)
+	maxInt64(&c.MaxQueueSize, o.MaxQueueSize)
+	atomic.AddInt64(&c.QueueDiskPairs, o.QueueDiskPairs)
+	atomic.AddInt64(&c.QueueReads, o.QueueReads)
+	atomic.AddInt64(&c.QueueWrites, o.QueueWrites)
+	atomic.AddInt64(&c.PairsReported, o.PairsReported)
+	atomic.AddInt64(&c.Filtered, o.Filtered)
 }
 
 // String formats the Table 1 measures compactly.
@@ -156,8 +215,9 @@ func (c *Counters) String() string {
 	if c == nil {
 		return "stats: disabled"
 	}
+	s := c.Snapshot()
 	return fmt.Sprintf("distCalcs=%d queueMax=%d nodeIO=%d (reads=%d writes=%d hits=%d)",
-		c.DistCalcs, c.MaxQueueSize, c.NodeIO(), c.NodeReads, c.NodeWrites, c.BufferHits)
+		s.DistCalcs, s.MaxQueueSize, s.NodeReads+s.NodeWrites, s.NodeReads, s.NodeWrites, s.BufferHits)
 }
 
 // NodeSink adapts c into a pager.IOCounter that records into the node-I/O
@@ -174,13 +234,13 @@ func NodeSink(c *Counters) pager.IOCounter {
 type NodeIOSink struct{ c *Counters }
 
 // AddRead implements pager.IOCounter.
-func (s *NodeIOSink) AddRead(n int64) { s.c.NodeReads += n }
+func (s *NodeIOSink) AddRead(n int64) { s.c.AddNodeRead(n) }
 
 // AddWrite implements pager.IOCounter.
-func (s *NodeIOSink) AddWrite(n int64) { s.c.NodeWrites += n }
+func (s *NodeIOSink) AddWrite(n int64) { s.c.AddNodeWrite(n) }
 
 // AddHit implements pager.IOCounter.
-func (s *NodeIOSink) AddHit(n int64) { s.c.BufferHits += n }
+func (s *NodeIOSink) AddHit(n int64) { s.c.AddBufferHit(n) }
 
 // QueueSink adapts c into a pager.IOCounter that records into the queue-I/O
 // columns (QueueReads, QueueWrites). Buffer hits inside the queue's small
@@ -196,10 +256,10 @@ func QueueSink(c *Counters) pager.IOCounter {
 type QueueIOSink struct{ c *Counters }
 
 // AddRead implements pager.IOCounter.
-func (s *QueueIOSink) AddRead(n int64) { s.c.QueueReads += n }
+func (s *QueueIOSink) AddRead(n int64) { atomic.AddInt64(&s.c.QueueReads, n) }
 
 // AddWrite implements pager.IOCounter.
-func (s *QueueIOSink) AddWrite(n int64) { s.c.QueueWrites += n }
+func (s *QueueIOSink) AddWrite(n int64) { atomic.AddInt64(&s.c.QueueWrites, n) }
 
 // AddHit implements pager.IOCounter.
 func (s *QueueIOSink) AddHit(int64) {}
