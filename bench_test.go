@@ -6,6 +6,7 @@
 package distjoin_test
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
@@ -341,5 +342,72 @@ func BenchmarkDimSweep(b *testing.B) {
 		if _, err := experiments.DimSweep(benchScale); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkJoinObs compares the join with observability disabled (nil
+// Recorder — must match the plain BenchmarkTable1-style path) and enabled
+// (recorder + trace sink into io.Discard), guarding the
+// near-zero-overhead-when-disabled contract.
+func BenchmarkJoinObs(b *testing.B) {
+	d := loadBench(b)
+	const k = 10_000
+	for _, enabled := range []bool{false, true} {
+		name := "Disabled"
+		if enabled {
+			name = "Enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var rec *distjoin.Recorder
+				if enabled {
+					rec = distjoin.NewRecorder(distjoin.ObsConfig{Trace: io.Discard, ExpandEvery: 64})
+				}
+				j, err := idistjoin.NewJoin(d.Water, d.Roads, idistjoin.Options{
+					MaxPairs: k,
+					Obs:      rec,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					_, ok, err := j.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+				if n != k {
+					b.Fatalf("drained %d pairs, want %d", n, k)
+				}
+				j.Close()
+				if err := rec.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestNilRecorderZeroAllocs is the benchmark guard's hard assertion: the
+// nil-Recorder hooks the engine calls per emitted pair must allocate
+// nothing (and the whole per-pair iterator path must not regress above its
+// steady-state allocation budget when Obs is nil).
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var rec *distjoin.Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := rec.Now()
+		rec.Emit(-1, 1.0, 3, start)
+		rec.Deliver(2.0)
+		rec.Expand(-1, 0.5)
+		rec.Spill(-1, 4.0, 1)
+		rec.MergeStall(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Recorder hooks allocate %v per pair, want 0", allocs)
 	}
 }

@@ -5,37 +5,76 @@
 // Usage:
 //
 //	distjoin -a water.csv -b roads.csv [-semi] [-k 10] [-min d] [-max d]
-//	         [-metric euclidean|manhattan|chessboard] [-reverse] [-stats]
+//	         [-metric euclidean|manhattan|chessboard] [-reverse] [-parallel n]
+//	         [-stats] [-stats-json] [-trace file] [-metrics-addr :8090]
+//	         [-progress] [-linger 30s]
 //
 // Pairs stream out closest-first as they are found — pipe through `head`
 // to see the incremental behaviour: the first pairs appear long before a
 // full join could complete.
+//
+// Observability: -trace writes a JSONL event trace (see the Observability
+// section of DESIGN.md for the schema), -metrics-addr serves live
+// Prometheus metrics on /metrics plus expvar and pprof under /debug/,
+// -progress keeps a one-line frontier/ETA display on stderr, and
+// -stats-json prints the final performance counters as one JSON object on
+// stdout after the pair stream. -linger keeps the metrics endpoint up for
+// the given duration after the join completes, so short runs can still be
+// scraped.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"distjoin"
 	"distjoin/internal/datagen"
 )
 
+// cliOptions carries every flag; tests drive run with a literal.
+type cliOptions struct {
+	fileA, fileB string
+	semi         bool
+	knn          int
+	k            int
+	minD, maxD   float64
+	metricName   string
+	reverse      bool
+	parallel     int
+	showStats    bool
+	statsJSON    bool
+	tracePath    string
+	metricsAddr  string
+	progress     bool
+	linger       time.Duration
+}
+
 func main() {
-	fileA := flag.String("a", "", "CSV file with the first (outer) point set")
-	fileB := flag.String("b", "", "CSV file with the second (inner) point set")
-	semi := flag.Bool("semi", false, "compute the distance semi-join instead of the distance join")
-	knn := flag.Int("knn", 0, "with -semi: report the knn nearest partners per object instead of 1")
-	k := flag.Int("k", 0, "stop after k pairs (0 = unlimited); also activates max-distance estimation")
-	minD := flag.Float64("min", 0, "minimum pair distance")
-	maxD := flag.Float64("max", 0, "maximum pair distance (0 = unlimited)")
-	metricName := flag.String("metric", "euclidean", "distance metric: euclidean, manhattan, chessboard")
-	reverse := flag.Bool("reverse", false, "report pairs farthest-first")
-	showStats := flag.Bool("stats", false, "print performance counters to stderr when done")
+	var o cliOptions
+	flag.StringVar(&o.fileA, "a", "", "CSV file with the first (outer) point set")
+	flag.StringVar(&o.fileB, "b", "", "CSV file with the second (inner) point set")
+	flag.BoolVar(&o.semi, "semi", false, "compute the distance semi-join instead of the distance join")
+	flag.IntVar(&o.knn, "knn", 0, "with -semi: report the knn nearest partners per object instead of 1")
+	flag.IntVar(&o.k, "k", 0, "stop after k pairs (0 = unlimited); also activates max-distance estimation")
+	flag.Float64Var(&o.minD, "min", 0, "minimum pair distance")
+	flag.Float64Var(&o.maxD, "max", 0, "maximum pair distance (0 = unlimited)")
+	flag.StringVar(&o.metricName, "metric", "euclidean", "distance metric: euclidean, manhattan, chessboard")
+	flag.BoolVar(&o.reverse, "reverse", false, "report pairs farthest-first")
+	flag.IntVar(&o.parallel, "parallel", 0, "partition workers (0/1 sequential, -1 one per CPU)")
+	flag.BoolVar(&o.showStats, "stats", false, "print performance counters to stderr when done")
+	flag.BoolVar(&o.statsJSON, "stats-json", false, "print the final performance counters as JSON on stdout after the pairs")
+	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL event trace to this file")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	flag.BoolVar(&o.progress, "progress", false, "show a live frontier/ETA line on stderr")
+	flag.DurationVar(&o.linger, "linger", 0, "keep the metrics endpoint up this long after the join completes")
 	flag.Parse()
 
-	if err := run(*fileA, *fileB, *semi, *knn, *k, *minD, *maxD, *metricName, *reverse, *showStats); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "distjoin:", err)
 		os.Exit(1)
 	}
@@ -54,15 +93,15 @@ func loadIndex(path string) (*distjoin.Index, error) {
 	return distjoin.BulkIndexPoints(distjoin.IndexConfig{}, pts)
 }
 
-func run(fileA, fileB string, semi bool, knn, k int, minD, maxD float64, metricName string, reverse, showStats bool) error {
-	if knn > 0 && !semi {
+func run(o cliOptions) error {
+	if o.knn > 0 && !o.semi {
 		return fmt.Errorf("-knn requires -semi")
 	}
-	if fileA == "" || fileB == "" {
+	if o.fileA == "" || o.fileB == "" {
 		return fmt.Errorf("both -a and -b are required")
 	}
 	metric := distjoin.Metric(nil)
-	switch metricName {
+	switch o.metricName {
 	case "euclidean":
 		metric = distjoin.Euclidean
 	case "manhattan":
@@ -70,35 +109,69 @@ func run(fileA, fileB string, semi bool, knn, k int, minD, maxD float64, metricN
 	case "chessboard":
 		metric = distjoin.Chessboard
 	default:
-		return fmt.Errorf("unknown metric %q", metricName)
+		return fmt.Errorf("unknown metric %q", o.metricName)
 	}
 
-	a, err := loadIndex(fileA)
+	a, err := loadIndex(o.fileA)
 	if err != nil {
 		return err
 	}
 	defer a.Close()
-	b, err := loadIndex(fileB)
+	b, err := loadIndex(o.fileB)
 	if err != nil {
 		return err
 	}
 	defer b.Close()
 
 	c := &distjoin.Stats{}
-	a.SetCounters(c)
-	b.SetCounters(c)
+	var rec *distjoin.Recorder
+	var traceFile *os.File
+	if o.tracePath != "" || o.metricsAddr != "" || o.progress {
+		cfg := distjoin.ObsConfig{}
+		if o.tracePath != "" {
+			traceFile, err = os.Create(o.tracePath)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+			cfg.Trace = traceFile
+		}
+		rec = distjoin.NewRecorder(cfg)
+	}
+	a.SetObserver(rec, c)
+	b.SetObserver(rec, c)
+
+	if o.metricsAddr != "" {
+		srv, err := distjoin.ServeMetrics(o.metricsAddr, rec, c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+		if o.linger > 0 {
+			defer time.Sleep(o.linger)
+		}
+	}
+
 	opts := distjoin.Options{
-		Metric:   metric,
-		MinDist:  minD,
-		MaxDist:  maxD,
-		MaxPairs: k,
-		Reverse:  reverse,
-		Counters: c,
+		Metric:      metric,
+		MinDist:     o.minD,
+		MaxDist:     o.maxD,
+		MaxPairs:    o.k,
+		Reverse:     o.reverse,
+		Parallelism: o.parallel,
+		Counters:    c,
+		Obs:         rec,
+	}
+
+	if o.progress {
+		stop := startProgress(a, b, o, rec)
+		defer stop()
 	}
 
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
-	next, closeFn, err := makeIterator(a, b, semi, knn, opts)
+	next, closeFn, err := makeIterator(a, b, o.semi, o.knn, opts)
 	if err != nil {
 		return err
 	}
@@ -115,11 +188,75 @@ func run(fileA, fileB string, semi bool, knn, k int, minD, maxD float64, metricN
 			return err
 		}
 	}
-	if showStats {
+	if err := rec.Close(); err != nil {
+		return fmt.Errorf("flushing trace: %w", err)
+	}
+	if o.statsJSON {
+		enc, err := json.Marshal(c.Snapshot())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", enc)
+	}
+	if o.showStats {
 		out.Flush()
 		fmt.Fprintln(os.Stderr, c.String())
 	}
 	return nil
+}
+
+// startProgress launches the live stderr progress line and returns its stop
+// function. The expected total comes from the cost model: k when the run is
+// k-bounded, the estimated within-distance pair count when a maximum
+// distance is set, and the full Cartesian product (or first-input size for
+// the semi-join) otherwise.
+func startProgress(a, b *distjoin.Index, o cliOptions, rec *distjoin.Recorder) func() {
+	var total float64
+	switch {
+	case o.k > 0:
+		total = float64(o.k)
+	case o.maxD > 0 && !o.semi:
+		if est, err := distjoin.EstimatePairsWithin(a, b, o.maxD, distjoin.CostOptions{}); err == nil {
+			total = est
+		}
+	case o.semi:
+		total = float64(a.Len() * max(1, o.knn))
+	default:
+		total = float64(a.Len()) * float64(b.Len())
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-done:
+				fmt.Fprintln(os.Stderr)
+				return
+			case <-tick.C:
+				s := rec.Snapshot()
+				eta := "?"
+				if total > 0 && s.Delivered > 0 {
+					frac := float64(s.Delivered) / total
+					if frac > 0 && frac <= 1 {
+						remain := time.Duration(float64(time.Since(start)) * (1 - frac) / frac)
+						eta = remain.Round(time.Second).String()
+					}
+				}
+				fmt.Fprintf(os.Stderr, "\rpairs=%d frontier=%.4g queue=%d elapsed=%s eta=%s   ",
+					s.Delivered, s.Frontier, s.QueueDepth,
+					time.Since(start).Round(time.Second), eta)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
 }
 
 // makeIterator abstracts over join, semi-join and k-NN join.

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"distjoin"
 )
 
 // writeCSV materializes a random point file and returns its path.
@@ -48,22 +52,26 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 	return string(buf[:total]), runErr
 }
 
-func TestRunJoinStreamsPairs(t *testing.T) {
-	a := writeCSV(t, 1, 50)
-	b := writeCSV(t, 2, 60)
-	out, err := captureStdout(t, func() error {
-		return run(a, b, false, 0, 5, 0, 0, "euclidean", false, false)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+func countLines(s string) int {
 	lines := 0
-	for _, c := range out {
+	for _, c := range s {
 		if c == '\n' {
 			lines++
 		}
 	}
-	if lines != 5 {
+	return lines
+}
+
+func TestRunJoinStreamsPairs(t *testing.T) {
+	a := writeCSV(t, 1, 50)
+	b := writeCSV(t, 2, 60)
+	out, err := captureStdout(t, func() error {
+		return run(cliOptions{fileA: a, fileB: b, k: 5, metricName: "euclidean"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := countLines(out); lines != 5 {
 		t.Fatalf("printed %d pairs, want 5:\n%s", lines, out)
 	}
 }
@@ -72,31 +80,25 @@ func TestRunSemiJoin(t *testing.T) {
 	a := writeCSV(t, 3, 30)
 	b := writeCSV(t, 4, 40)
 	out, err := captureStdout(t, func() error {
-		return run(a, b, true, 0, 0, 0, 0, "manhattan", false, false)
+		return run(cliOptions{fileA: a, fileB: b, semi: true, metricName: "manhattan"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := 0
-	for _, c := range out {
-		if c == '\n' {
-			lines++
-		}
-	}
-	if lines != 30 {
+	if lines := countLines(out); lines != 30 {
 		t.Fatalf("semi-join printed %d pairs, want 30", lines)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	a := writeCSV(t, 5, 10)
-	if err := run("", a, false, 0, 0, 0, 0, "euclidean", false, false); err == nil {
+	if err := run(cliOptions{fileB: a, metricName: "euclidean"}); err == nil {
 		t.Error("missing -a accepted")
 	}
-	if err := run(a, a, false, 0, 0, 0, 0, "bogus", false, false); err == nil {
+	if err := run(cliOptions{fileA: a, fileB: a, metricName: "bogus"}); err == nil {
 		t.Error("unknown metric accepted")
 	}
-	if err := run("/does/not/exist.csv", a, false, 0, 0, 0, 0, "euclidean", false, false); err == nil {
+	if err := run(cliOptions{fileA: "/does/not/exist.csv", fileB: a, metricName: "euclidean"}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -105,25 +107,125 @@ func TestRunKNNJoin(t *testing.T) {
 	a := writeCSV(t, 6, 20)
 	b := writeCSV(t, 7, 30)
 	out, err := captureStdout(t, func() error {
-		return run(a, b, true, 3, 0, 0, 0, "euclidean", false, false)
+		return run(cliOptions{fileA: a, fileB: b, semi: true, knn: 3, metricName: "euclidean"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := 0
-	for _, c := range out {
-		if c == '\n' {
-			lines++
-		}
-	}
-	if lines != 60 {
+	if lines := countLines(out); lines != 60 {
 		t.Fatalf("3-NN join printed %d pairs, want 60", lines)
 	}
 }
 
 func TestRunKNNRequiresSemi(t *testing.T) {
 	a := writeCSV(t, 8, 5)
-	if err := run(a, a, false, 3, 0, 0, 0, "euclidean", false, false); err == nil {
+	if err := run(cliOptions{fileA: a, fileB: a, knn: 3, metricName: "euclidean"}); err == nil {
 		t.Fatal("-knn without -semi accepted")
+	}
+}
+
+// TestRunStatsJSON asserts the -stats-json satellite: the last stdout line
+// is a JSON stats.Counters snapshot consistent with the pair stream.
+func TestRunStatsJSON(t *testing.T) {
+	a := writeCSV(t, 9, 40)
+	b := writeCSV(t, 10, 50)
+	out, err := captureStdout(t, func() error {
+		return run(cliOptions{fileA: a, fileB: b, k: 7, metricName: "euclidean", statsJSON: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 7 pairs + 1 JSON line:\n%s", len(lines), out)
+	}
+	var snap distjoin.Stats
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &snap); err != nil {
+		t.Fatalf("last line is not JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if snap.PairsReported != 7 {
+		t.Errorf("PairsReported = %d, want 7", snap.PairsReported)
+	}
+	if snap.DistCalcs == 0 || snap.QueueInserts == 0 {
+		t.Errorf("expected non-zero work counters, got %+v", snap)
+	}
+}
+
+// TestRunTrace asserts the -trace flag writes a parseable JSONL trace whose
+// deliver events match the printed pairs.
+func TestRunTrace(t *testing.T) {
+	a := writeCSV(t, 11, 40)
+	b := writeCSV(t, 12, 50)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := captureStdout(t, func() error {
+		return run(cliOptions{fileA: a, fileB: b, k: 9, metricName: "euclidean", tracePath: tracePath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := countLines(out); lines != 9 {
+		t.Fatalf("printed %d pairs, want 9", lines)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := distjoin.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	delivers := 0
+	for _, ev := range events {
+		if ev.Type == distjoin.EvDeliver {
+			delivers++
+		}
+	}
+	if delivers != 9 {
+		t.Errorf("trace has %d deliver events, want 9", delivers)
+	}
+	if _, _, ok := distjoin.TimeToKth(events, 9); !ok {
+		t.Error("TimeToKth(9) not found in trace")
+	}
+}
+
+// TestRunParallelWithObservability exercises the parallel path with a
+// recorder attached (merge deliveries, per-partition emits).
+func TestRunParallelWithObservability(t *testing.T) {
+	a := writeCSV(t, 13, 200)
+	b := writeCSV(t, 14, 200)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := captureStdout(t, func() error {
+		return run(cliOptions{fileA: a, fileB: b, k: 25, parallel: 3, metricName: "euclidean", tracePath: tracePath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := countLines(out); lines != 25 {
+		t.Fatalf("printed %d pairs, want 25", lines)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := distjoin.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	delivers, emits := 0, 0
+	for _, ev := range events {
+		if ev.Type == distjoin.EvDeliver {
+			delivers++
+		}
+		if ev.Type == distjoin.EvEmit && ev.Part >= 0 {
+			emits++
+		}
+	}
+	if delivers != 25 {
+		t.Errorf("trace has %d deliver events, want 25", delivers)
+	}
+	if emits < 25 {
+		t.Errorf("trace has %d partition emit events, want >= 25", emits)
 	}
 }

@@ -3,36 +3,46 @@
 //
 // Usage:
 //
-//	experiments [-scale small|full] [-exp all|table1|table1r|fig6|fig7|parallel|fig8|fig9|fig10|sec414|sec423|dims]
+//	experiments [-scale small|full] [-exp all|table1|table1r|fig6|fig7|parallel|fig8|fig9|fig10|sec414|sec423|dims|trace]
+//	            [-latency 100us] [-json] [-trace file] [-metrics-addr :8090]
 //
 // The small scale (default) runs the whole matrix in seconds; -scale full
 // uses the paper's dataset cardinalities (37,495 × 200,482 points).
+//
+// -exp trace derives a time-to-k-th-pair table from an event trace of the
+// Table-1 workload (the incrementality claim, measured); -trace saves that
+// raw JSONL trace, and -metrics-addr serves live Prometheus metrics for
+// every experiment run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"distjoin/internal/experiments"
+	"distjoin/internal/obs"
 )
 
 func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small or full")
-	expName := flag.String("exp", "all", "experiment id: all, table1, table1r, fig6, fig7, parallel, fig8, fig9, fig10, sec414, sec423, dims")
+	expName := flag.String("exp", "all", "experiment id: all, table1, table1r, fig6, fig7, parallel, fig8, fig9, fig10, sec414, sec423, dims, trace")
 	latency := flag.Duration("latency", 0, "simulated disk latency per node I/O (e.g. 100us) to restore the paper's I/O-dominated cost model")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	tracePath := flag.String("trace", "", "with -exp trace: also save the raw JSONL event trace to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address during the runs")
 	flag.Parse()
 
-	if err := run(*scaleName, *expName, *latency, *asJSON); err != nil {
+	if err := run(*scaleName, *expName, *latency, *asJSON, *tracePath, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expName string, latency time.Duration, asJSON bool) error {
+func run(scaleName, expName string, latency time.Duration, asJSON bool, tracePath, metricsAddr string) error {
 	scale, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -46,9 +56,31 @@ func run(scaleName, expName string, latency time.Duration, asJSON bool) error {
 		return err
 	}
 	defer d.Close()
+	if metricsAddr != "" {
+		d.Obs = obs.New(obs.Config{})
+		srv, err := obs.ServeMetrics(metricsAddr, d.Obs, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", srv.Addr())
+		defer srv.Close()
+	}
 	if !asJSON {
 		fmt.Printf("built R*-trees in %s (Water height %d, Roads height %d)\n\n",
 			experiments.FormatDuration(time.Since(start)), d.Water.Height(), d.Roads.Height())
+	}
+
+	runTrace := func(d *experiments.Datasets) ([]experiments.Run, error) {
+		var extra io.Writer
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			extra = f
+		}
+		return experiments.TraceTTKTo(d, extra)
 	}
 
 	type exp struct {
@@ -70,6 +102,7 @@ func run(scaleName, expName string, latency time.Duration, asJSON bool) error {
 		{"dims", "§5 future work: distance join across dimensionalities", func(*experiments.Datasets) ([]experiments.Run, error) {
 			return experiments.DimSweep(scale)
 		}},
+		{"trace", "Time to k-th pair, from an event trace of the Table 1 workload (incrementality, measured)", runTrace},
 	}
 
 	selected := strings.Split(expName, ",")

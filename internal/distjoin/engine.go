@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"time"
 
 	"distjoin/internal/geom"
+	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/pqueue"
 	"distjoin/internal/rtree"
@@ -73,6 +75,12 @@ type engine struct {
 	// childItems does not allocate a fresh slice per expanded node.
 	scratch1, scratch2 []item
 
+	// obs receives observability events; nil disables them (next then
+	// bypasses the timing wrapper entirely). part is this engine's
+	// partition id on the parallel path, -1 for a sequential engine.
+	obs  *obs.Recorder
+	part int32
+
 	reported  int
 	skip      int  // results to silently re-skip after a restart
 	restarted bool // the §2.2.4 restart has been used
@@ -83,14 +91,15 @@ type engine struct {
 // newEngine validates options, builds the queue, and seeds it with the
 // root/root pair.
 func newEngine(t1, t2 SpatialIndex, opts Options, semi *semiState) (*engine, error) {
-	return newEngineSeeded(t1, t2, opts, semi, nil)
+	return newEngineSeeded(t1, t2, opts, semi, nil, -1)
 }
 
 // newEngineSeeded is newEngine with an explicit seed set: instead of the
 // root/root pair, the queue starts from the given item pairs. The parallel
 // path uses this to hand each partition worker a disjoint slice of the
-// top-level pair space; nil seeds mean the ordinary root/root start.
-func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [][2]item) (*engine, error) {
+// top-level pair space (identified to the observability layer by part); nil
+// seeds mean the ordinary root/root start, with part -1.
+func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [][2]item, part int32) (*engine, error) {
 	if err := opts.validate(t1, t2, semi != nil); err != nil {
 		return nil, err
 	}
@@ -103,6 +112,8 @@ func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [
 		semi:      semi,
 		sweep:     !opts.NoPlaneSweep,
 		seedPairs: seeds,
+		obs:       opts.Obs,
+		part:      part,
 	}
 	if opts.MaxPairs > 0 {
 		if opts.Reverse {
@@ -136,11 +147,13 @@ func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [
 	}
 	if t1.NumObjects() == 0 || t2.NumObjects() == 0 {
 		e.done = true
+		e.obs.EngineStart(e.part)
 		return e, nil
 	}
 	if err := e.seed(); err != nil {
 		return nil, err
 	}
+	e.obs.EngineStart(e.part)
 	return e, nil
 }
 
@@ -156,6 +169,8 @@ func (e *engine) makeQueue() error {
 			Adaptive: e.opts.HybridDT == 0,
 			Dir:      e.opts.HybridDir,
 			Counters: e.opts.Counters,
+			Obs:      e.obs,
+			Part:     e.part,
 		}
 		cfg.PageSize = e.opts.queuePageSize()
 		if e.opts.HybridInMemory {
@@ -208,6 +223,7 @@ func (e *engine) seed() error {
 // already-delivered prefix.
 func (e *engine) restart() error {
 	e.restarted = true
+	e.obs.Restart(e.part)
 	e.est = nil
 	e.revEst = nil
 	e.dmaxCur = e.opts.MaxDist
@@ -405,8 +421,24 @@ func (e *engine) semiGlobalAdmit(i1 item, d, dmax float64) bool {
 	return d <= best
 }
 
-// next drives the algorithm until the next reportable object pair.
+// next drives the algorithm until the next reportable object pair. With a
+// recorder attached it brackets the work with the pop-to-emit timing and
+// records the emission; a nil recorder takes the direct path, with no clock
+// reads at all.
 func (e *engine) next() (Pair, bool, error) {
+	if e.obs == nil {
+		return e.step()
+	}
+	start := time.Now()
+	p, ok, err := e.step()
+	if ok {
+		e.obs.Emit(e.part, p.Dist, e.q.Len(), start)
+	}
+	return p, ok, err
+}
+
+// step is the uninstrumented engine loop behind next.
+func (e *engine) step() (Pair, bool, error) {
 	if e.done {
 		return Pair{}, false, nil
 	}
@@ -595,6 +627,7 @@ func (e *engine) resolveOBR(p *qpair) (reportable, exact bool, err error) {
 // expand processes a pair with at least one node according to the traversal
 // policy.
 func (e *engine) expand(p qpair) error {
+	e.obs.Expand(e.part, p.key)
 	switch {
 	case p.i1.isNode() && p.i2.isNode():
 		if e.opts.DeferLeaves {
@@ -795,5 +828,6 @@ func (e *engine) close() error {
 		return nil
 	}
 	e.closed = true
+	e.obs.EngineStop(e.part, int64(e.reported))
 	return e.q.Close()
 }

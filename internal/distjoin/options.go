@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"distjoin/internal/geom"
+	"distjoin/internal/obs"
 	"distjoin/internal/rtree"
 	"distjoin/internal/stats"
 )
@@ -162,6 +163,14 @@ type Options struct {
 	ExactDist func(o1, o2 rtree.ObjID) (float64, error)
 	// Counters receives the Table 1 measures. May be nil.
 	Counters *stats.Counters
+	// Obs receives live observability events and metrics: the event trace
+	// (engine start/stop, expansions, emissions, hybrid-queue spills, merge
+	// stalls), the inter-pair delay and pop-to-emit latency histograms, and
+	// the sampled gauges behind the /metrics endpoint (see internal/obs).
+	// Like Counters, a nil recorder disables all instrumentation — the
+	// engine's per-pair path then performs no clock reads and no
+	// allocations. May be nil.
+	Obs *obs.Recorder
 	// Parallelism selects the parallel execution path: the top of the two
 	// trees is partitioned into disjoint slices of the pair space, one
 	// incremental engine runs per partition on its own goroutine, and the

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"distjoin/internal/obs"
 	"distjoin/internal/stats"
 )
 
@@ -195,6 +196,7 @@ type parallelJoin struct {
 	maxPairs int
 	maxDist  float64
 	user     *stats.Counters // caller's counters, merge target for shards
+	obs      *obs.Recorder   // observability; nil when disabled
 
 	done     chan struct{} // closed to cancel workers
 	stop     sync.Once
@@ -227,9 +229,11 @@ func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*
 		maxPairs: opts.MaxPairs,
 		maxDist:  opts.MaxDist,
 		user:     opts.Counters,
+		obs:      opts.Obs,
 		done:     make(chan struct{}),
 	}
-	for _, seeds := range parts {
+	r.obs.SetPartitions(len(parts))
+	for pi, seeds := range parts {
 		w := &parWorker{out: make(chan parResult, parallelBuffer)}
 		wopts := opts
 		if opts.Counters != nil {
@@ -240,7 +244,7 @@ func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*
 		if semiProto != nil {
 			wsemi = &semiState{filter: semiProto.filter, k: semiProto.k, symmetric: semiProto.symmetric}
 		}
-		eng, err := newEngineSeeded(t1, t2, wopts, wsemi, seeds)
+		eng, err := newEngineSeeded(t1, t2, wopts, wsemi, seeds, int32(pi))
 		if err != nil {
 			for _, prev := range r.workers {
 				prev.eng.close()
@@ -356,9 +360,22 @@ func (r *parallelJoin) popHead() parHead {
 }
 
 // pull blocks for the next result of worker src and pushes it onto the
-// heap; a closed stream simply drops out of the merge.
+// heap; a closed stream simply drops out of the merge. When a recorder is
+// attached, a pull that would block records a merge stall against the
+// awaited partition — the progress-skew signal of partitioned joins.
 func (r *parallelJoin) pull(src int) error {
-	res, ok := <-r.workers[src].out
+	var res parResult
+	var ok bool
+	if r.obs == nil {
+		res, ok = <-r.workers[src].out
+	} else {
+		select {
+		case res, ok = <-r.workers[src].out:
+		default:
+			r.obs.MergeStall(int32(src))
+			res, ok = <-r.workers[src].out
+		}
+	}
 	if !ok {
 		return nil
 	}
@@ -395,6 +412,7 @@ func (r *parallelJoin) next() (Pair, bool, error) {
 		return Pair{}, false, r.fail(err)
 	}
 	r.nOut++
+	r.obs.Deliver(h.pair.Dist)
 	if r.maxPairs > 0 && r.nOut >= r.maxPairs {
 		r.finish()
 	}

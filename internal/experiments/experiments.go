@@ -20,6 +20,7 @@ import (
 	"distjoin/internal/datagen"
 	"distjoin/internal/distjoin"
 	"distjoin/internal/geom"
+	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/rtree"
 	"distjoin/internal/stats"
@@ -80,6 +81,10 @@ type Datasets struct {
 	Water    *rtree.Tree
 	Roads    *rtree.Tree
 	Counters *stats.Counters
+	// Obs, when non-nil, is threaded into every run (engine events, latency
+	// histograms, buffer-pool gauges) — set it to watch experiments live via
+	// obs.ServeMetrics, or let TraceTTK attach its own recorder.
+	Obs *obs.Recorder
 }
 
 // treeConfig is the paper's §3.1 node/buffer configuration (see DESIGN.md
@@ -146,8 +151,8 @@ func (d *Datasets) reset() (*stats.Counters, error) {
 	}
 	c := &stats.Counters{}
 	d.Counters = c
-	d.Water.Pool().SetCounters(stats.NodeSink(c))
-	d.Roads.Pool().SetCounters(stats.NodeSink(c))
+	d.Water.Pool().SetCounters(d.Obs.PoolTap(stats.NodeSink(c)))
+	d.Roads.Pool().SetCounters(d.Obs.PoolTap(stats.NodeSink(c)))
 	return c, nil
 }
 
@@ -170,6 +175,7 @@ func (d *Datasets) runJoin(label string, pairs int, opts distjoin.Options, rever
 		return Run{}, err
 	}
 	opts.Counters = c
+	opts.Obs = d.Obs
 	t1, t2 := d.Water, d.Roads
 	if reversedInputs {
 		t1, t2 = d.Roads, d.Water
@@ -207,6 +213,7 @@ func (d *Datasets) runSemi(label string, pairs int, filter distjoin.SemiFilter, 
 		return Run{}, err
 	}
 	opts.Counters = c
+	opts.Obs = d.Obs
 	t1, t2 := d.Water, d.Roads
 	if reversedInputs {
 		t1, t2 = d.Roads, d.Water

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets. Bucket i holds
+// durations whose nanosecond count has bit-length i, i.e. the half-open
+// range [2^(i-1), 2^i) ns (bucket 0 holds exactly 0 ns). 64 buckets cover
+// every representable duration.
+const histBuckets = 64
+
+// Histogram is a fixed-size log2-bucketed latency histogram updated with
+// atomic operations only, so many engines may observe into one histogram
+// without locking. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations (clock steps) count as 0.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1): the midpoint
+// of the bucket containing the q-th observation. The estimate is therefore
+// accurate to within a factor of ~1.5 — plenty for latency reporting.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << uint(i-1)
+			return time.Duration(lo + lo/2)
+		}
+	}
+	return h.Mean()
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i in seconds.
+func bucketUpper(i int) float64 {
+	return float64(int64(1)<<uint(i)) / float64(time.Second)
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram, shaped for
+// JSON (expvar) consumption.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	MeanS float64 `json:"mean_seconds"`
+	P50S  float64 `json:"p50_seconds"`
+	P90S  float64 `json:"p90_seconds"`
+	P99S  float64 `json:"p99_seconds"`
+}
+
+// snapshot summarizes the histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		MeanS: h.Mean().Seconds(),
+		P50S:  h.Quantile(0.50).Seconds(),
+		P90S:  h.Quantile(0.90).Seconds(),
+		P99S:  h.Quantile(0.99).Seconds(),
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distjoin/internal/stats"
+)
+
+// WriteMetrics writes the recorder's current state (and, when c is non-nil,
+// the run's stats.Counters) in Prometheus text exposition format.
+func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
+	s := r.Snapshot()
+	writeCounter(w, "distjoin_pairs_delivered_total", "Result pairs delivered to the caller, in distance order.", s.Delivered)
+	writeCounter(w, "distjoin_pairs_emitted_total", "Result pairs emitted by engines (per-partition, pre-merge on the parallel path).", s.Emitted)
+	writeCounter(w, "distjoin_expansions_total", "Node-pair expansions across all engines.", s.Expansions)
+	writeCounter(w, "distjoin_queue_spilled_pairs_total", "Pairs spilled to the hybrid priority queue's disk tier.", s.SpilledPairs)
+	writeCounter(w, "distjoin_merge_stalls_total", "Times the parallel merge blocked waiting on a partition stream.", s.MergeStalls)
+	writeCounter(w, "distjoin_restarts_total", "Engine restarts after an over-tight estimated maximum distance.", s.Restarts)
+	writeCounter(w, "distjoin_engines_started_total", "Engines (sequential or partition workers) started.", s.EnginesStarted)
+	writeCounter(w, "distjoin_engines_stopped_total", "Engines stopped.", s.EnginesStopped)
+	writeGauge(w, "distjoin_queue_depth", "Last sampled priority-queue length.", float64(s.QueueDepth))
+	writeGauge(w, "distjoin_frontier_distance", "Distance of the most recently delivered pair (the result frontier).", s.Frontier)
+	writeGauge(w, "distjoin_pool_hit_ratio", "Buffer-pool hit ratio since the recorder started.", s.PoolHitRatio)
+	if pp := s.PartitionPairs; len(pp) > 0 {
+		fmt.Fprintf(w, "# HELP distjoin_partition_pairs_emitted Pairs emitted by each parallel partition worker.\n")
+		fmt.Fprintf(w, "# TYPE distjoin_partition_pairs_emitted gauge\n")
+		for i, n := range pp {
+			fmt.Fprintf(w, "distjoin_partition_pairs_emitted{part=%q} %d\n", strconv.Itoa(i), n)
+		}
+	}
+	writeHistogram(w, "distjoin_inter_pair_delay_seconds", "Delay between consecutive delivered pairs (enumeration delay).", &r.interPair)
+	writeHistogram(w, "distjoin_pop_to_emit_seconds", "Latency from queue pop to result emission within one engine.", &r.popToEmit)
+	if c != nil {
+		cs := c.Snapshot()
+		writeCounter(w, "distjoin_stats_pairs_reported_total", "Pairs reported (stats.Counters).", cs.PairsReported)
+		writeCounter(w, "distjoin_stats_dist_calcs_total", "Distance computations (stats.Counters).", cs.DistCalcs)
+		writeCounter(w, "distjoin_stats_queue_inserts_total", "Priority-queue inserts (stats.Counters).", cs.QueueInserts)
+		writeCounter(w, "distjoin_stats_node_reads_total", "Index node reads (stats.Counters).", cs.NodeReads)
+		writeCounter(w, "distjoin_stats_buffer_hits_total", "Index node buffer hits (stats.Counters).", cs.BufferHits)
+		writeGauge(w, "distjoin_stats_max_queue_size", "High-water priority-queue size (stats.Counters).", float64(cs.MaxQueueSize))
+	}
+}
+
+func writeCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// writeHistogram emits cumulative le-labelled buckets. Only populated
+// buckets (plus +Inf) are written — with log2 buckets, 64 lines of zeros
+// help nobody.
+func writeHistogram(w io.Writer, name, help string, h *Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(bucketUpper(i), 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// Handler returns an http.Handler serving WriteMetrics output.
+func Handler(r *Recorder, c *stats.Counters) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, r, c)
+	})
+}
+
+// expvar can only publish a name once per process, so the published vars
+// read through an atomic pointer to whatever recorder ServeMetrics saw
+// last.
+var (
+	expvarOnce   sync.Once
+	expvarActive atomic.Pointer[Recorder]
+)
+
+func publishExpvar(r *Recorder) {
+	expvarActive.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("distjoin.obs", expvar.Func(func() any {
+			return expvarActive.Load().Snapshot()
+		}))
+	})
+}
+
+// MetricsServer is a running metrics/pprof HTTP server.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// ServeMetrics binds addr and serves, in a background goroutine:
+//
+//	/metrics      Prometheus text exposition (recorder + stats.Counters)
+//	/debug/vars   expvar JSON, including a "distjoin.obs" snapshot
+//	/debug/pprof  the standard pprof handlers
+//
+// The default http mux is untouched; callers own the returned server's
+// lifetime.
+func ServeMetrics(addr string, r *Recorder, c *stats.Counters) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r, c))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorder exercises every hook on a nil receiver: nothing may
+// panic, and queries return zero values.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if !r.Now().IsZero() {
+		t.Error("nil.Now() should be the zero time")
+	}
+	r.EngineStart(0)
+	r.EngineStop(0, 5)
+	r.Restart(-1)
+	r.Expand(0, 1.5)
+	r.Emit(-1, 2.5, 10, time.Time{})
+	r.Emit(3, 2.5, 10, time.Time{})
+	r.Deliver(3.5)
+	r.Spill(0, 4.5, 100)
+	r.MergeStall(1)
+	r.SetPartitions(4)
+	if r.PartitionPairs() != nil {
+		t.Error("nil.PartitionPairs() should be nil")
+	}
+	if got := r.PoolTap(nil); got != nil {
+		t.Error("nil.PoolTap(nil) should be nil")
+	}
+	if r.Events() != nil {
+		t.Error("nil.Events() should be nil")
+	}
+	if s := r.Snapshot(); s.Delivered != 0 {
+		t.Error("nil.Snapshot() should be zero")
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("nil.Close() = %v", err)
+	}
+}
+
+// TestNilRecorderAllocs asserts the disabled path allocates nothing — the
+// engine calls these per emitted pair.
+func TestNilRecorderAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := r.Now()
+		r.Expand(-1, 1.0)
+		r.Emit(-1, 2.0, 5, start)
+		r.Spill(-1, 3.0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil Recorder hooks allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestRecorderCountsAndSnapshot(t *testing.T) {
+	r := New(Config{})
+	r.EngineStart(-1)
+	start := r.Now()
+	r.Expand(-1, 0.5)
+	r.Emit(-1, 1.0, 7, start)
+	r.Emit(-1, 2.0, 6, start)
+	r.Spill(-1, 3.0, 42)
+	r.Restart(-1)
+	r.EngineStop(-1, 2)
+	s := r.Snapshot()
+	if s.Delivered != 2 || s.Emitted != 2 {
+		t.Errorf("delivered=%d emitted=%d, want 2/2", s.Delivered, s.Emitted)
+	}
+	if s.Expansions != 1 || s.SpilledPairs != 1 || s.Restarts != 1 {
+		t.Errorf("expands=%d spills=%d restarts=%d, want 1/1/1", s.Expansions, s.SpilledPairs, s.Restarts)
+	}
+	if s.EnginesStarted != 1 || s.EnginesStopped != 1 {
+		t.Errorf("engines %d/%d, want 1/1", s.EnginesStarted, s.EnginesStopped)
+	}
+	if s.Frontier != 2.0 {
+		t.Errorf("frontier=%g, want 2", s.Frontier)
+	}
+	if s.QueueDepth != 6 {
+		t.Errorf("queueDepth=%d, want 6", s.QueueDepth)
+	}
+	if s.PopToEmit.Count != 2 {
+		t.Errorf("popToEmit count=%d, want 2", s.PopToEmit.Count)
+	}
+	if s.InterPairDelay.Count != 1 {
+		t.Errorf("interPair count=%d, want 1 (first pair has no predecessor)", s.InterPairDelay.Count)
+	}
+}
+
+func TestPartitionPairs(t *testing.T) {
+	r := New(Config{})
+	r.SetPartitions(3)
+	start := r.Now()
+	r.Emit(0, 1.0, 1, start)
+	r.Emit(2, 1.5, 1, start)
+	r.Emit(2, 2.0, 1, start)
+	r.Deliver(1.0)
+	got := r.PartitionPairs()
+	want := []int64{1, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("PartitionPairs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PartitionPairs() = %v, want %v", got, want)
+		}
+	}
+	// Partition emits must not count as deliveries.
+	if s := r.Snapshot(); s.Delivered != 1 || s.Emitted != 3 {
+		t.Errorf("delivered=%d emitted=%d, want 1/3", s.Delivered, s.Emitted)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := New(Config{RingSize: 4})
+	for i := 0; i < 10; i++ {
+		r.Expand(-1, float64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := float64(6 + i); ev.Dist != want {
+			t.Errorf("event %d dist=%g, want %g (oldest-first after wrap)", i, ev.Dist, want)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Config{Trace: &buf})
+	r.EngineStart(-1)
+	start := r.Now()
+	r.Emit(-1, 1.25, 3, start)
+	r.Spill(2, 7.5, 9)
+	r.MergeStall(1)
+	r.EngineStop(-1, 1)
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	evs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	wantTypes := []EventType{EvEngineStart, EvDeliver, EvSpill, EvMergeStall, EvEngineStop}
+	for i, w := range wantTypes {
+		if evs[i].Type != w {
+			t.Errorf("event %d type=%s, want %s", i, evs[i].Type, w)
+		}
+	}
+	if evs[1].Seq != 1 || evs[1].Dist != 1.25 {
+		t.Errorf("deliver event = %+v, want seq=1 dist=1.25", evs[1])
+	}
+	if evs[2].Part != 2 || evs[2].Dist != 7.5 || evs[2].N != 9 {
+		t.Errorf("spill event = %+v, want part=2 dist=7.5 n=9", evs[2])
+	}
+	if evs[3].Part != 1 {
+		t.Errorf("stall event = %+v, want part=1", evs[3])
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"t_us\":1,\"ev\":\"deliver\",\"part\":-1}\nnot json\n")); err == nil {
+		t.Error("want error for malformed line")
+	}
+	if _, err := ReadTrace(strings.NewReader("{\"t_us\":1,\"ev\":\"warp\",\"part\":-1}\n")); err == nil {
+		t.Error("want error for unknown event type")
+	}
+}
+
+func TestTimeToKth(t *testing.T) {
+	evs := []Event{
+		{T: time.Millisecond, Type: EvDeliver, Seq: 1, Dist: 0.1},
+		{T: 2 * time.Millisecond, Type: EvExpand},
+		{T: 3 * time.Millisecond, Type: EvDeliver, Seq: 2, Dist: 0.2},
+	}
+	if d, dist, ok := TimeToKth(evs, 2); !ok || d != 3*time.Millisecond || dist != 0.2 {
+		t.Errorf("TimeToKth(2) = %v,%g,%v", d, dist, ok)
+	}
+	if _, _, ok := TimeToKth(evs, 3); ok {
+		t.Error("TimeToKth(3) should miss")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Nanosecond) // bucket of [8,16)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 8*time.Nanosecond || p50 >= 16*time.Nanosecond {
+		t.Errorf("p50=%v, want within [8ns,16ns)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 8*time.Microsecond || p99 >= 17*time.Microsecond {
+		t.Errorf("p99=%v, want around 10µs", p99)
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+type fakeSink struct{ reads, writes, hits int64 }
+
+func (f *fakeSink) AddRead(n int64)  { f.reads += n }
+func (f *fakeSink) AddWrite(n int64) { f.writes += n }
+func (f *fakeSink) AddHit(n int64)   { f.hits += n }
+
+func TestPoolTap(t *testing.T) {
+	r := New(Config{})
+	inner := &fakeSink{}
+	tap := r.PoolTap(inner)
+	tap.AddRead(2)
+	tap.AddHit(6)
+	tap.AddWrite(1)
+	if inner.reads != 2 || inner.hits != 6 || inner.writes != 1 {
+		t.Errorf("inner sink = %+v, want 2/1/6", inner)
+	}
+	s := r.Snapshot()
+	if s.PoolHitRatio != 0.75 {
+		t.Errorf("hit ratio = %g, want 0.75", s.PoolHitRatio)
+	}
+	// Tap with no inner sink still records.
+	tap2 := r.PoolTap(nil)
+	tap2.AddRead(1)
+	if r.Snapshot().PoolReads != 3 {
+		t.Error("tap without inner sink should still record")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := New(Config{})
+	r.SetPartitions(2)
+	start := r.Now()
+	r.Emit(0, 1.0, 4, start)
+	r.Emit(1, 2.0, 3, start)
+	r.Deliver(1.0)
+	rec := httptest.NewRecorder()
+	Handler(r, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE distjoin_pairs_delivered_total counter",
+		"distjoin_pairs_delivered_total 1",
+		"distjoin_queue_depth 3",
+		`distjoin_partition_pairs_emitted{part="0"} 1`,
+		`distjoin_partition_pairs_emitted{part="1"} 1`,
+		"# TYPE distjoin_inter_pair_delay_seconds histogram",
+		`distjoin_pop_to_emit_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := New(Config{})
+	r.Deliver(5.0)
+	srv, err := ServeMetrics("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "distjoin_frontier_distance 5") {
+			t.Errorf("GET %s missing frontier gauge:\n%s", path, body)
+		}
+		if path == "/debug/vars" && !strings.Contains(string(body), "distjoin.obs") {
+			t.Errorf("GET %s missing expvar publication", path)
+		}
+	}
+}
+
+// TestConcurrentHooks drives all hooks from many goroutines so `go test
+// -race ./internal/obs` exercises the locking.
+func TestConcurrentHooks(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Config{Trace: &buf, RingSize: 64})
+	r.SetPartitions(4)
+	var wg sync.WaitGroup
+	for p := int32(0); p < 4; p++ {
+		wg.Add(1)
+		go func(p int32) {
+			defer wg.Done()
+			r.EngineStart(p)
+			for i := 0; i < 200; i++ {
+				start := r.Now()
+				r.Expand(p, float64(i))
+				r.Emit(p, float64(i), i, start)
+				if i%50 == 0 {
+					r.Spill(p, float64(i), i)
+				}
+			}
+			r.EngineStop(p, 200)
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			r.Deliver(float64(i))
+			r.MergeStall(int32(i % 4))
+			_ = r.Snapshot()
+			_ = r.Events()
+		}
+	}()
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s := r.Snapshot()
+	if s.Emitted != 800 || s.Delivered != 200 {
+		t.Errorf("emitted=%d delivered=%d, want 800/200", s.Emitted, s.Delivered)
+	}
+	if _, err := ReadTrace(&buf); err != nil {
+		t.Errorf("concurrent trace does not parse: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// traceLine mirrors the JSONL schema written by traceWriter.
+type traceLine struct {
+	TUS  int64   `json:"t_us"`
+	Ev   string  `json:"ev"`
+	Part int32   `json:"part"`
+	Seq  int64   `json:"seq"`
+	Dist float64 `json:"dist"`
+	N    int64   `json:"n"`
+}
+
+// ReadTrace parses a JSONL trace produced via Config.Trace back into
+// events. Blank lines are skipped; a malformed line aborts with an error
+// naming its line number.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	byName := make(map[string]EventType, len(eventNames))
+	for t, name := range eventNames {
+		byName[name] = EventType(t)
+	}
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var tl traceLine
+		if err := json.Unmarshal(line, &tl); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		t, ok := byName[tl.Ev]
+		if !ok {
+			return nil, fmt.Errorf("trace line %d: unknown event %q", lineNo, tl.Ev)
+		}
+		events = append(events, Event{
+			T:    time.Duration(tl.TUS) * time.Microsecond,
+			Type: t,
+			Part: tl.Part,
+			Seq:  tl.Seq,
+			Dist: tl.Dist,
+			N:    tl.N,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// TimeToKth scans a trace for the k-th delivered pair and returns its
+// elapsed time and distance. ok is false when fewer than k pairs were
+// delivered in the trace.
+func TimeToKth(events []Event, k int64) (t time.Duration, dist float64, ok bool) {
+	for _, ev := range events {
+		if ev.Type == EvDeliver && ev.Seq == k {
+			return ev.T, ev.Dist, true
+		}
+	}
+	return 0, 0, false
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/pairheap"
 	"distjoin/internal/stats"
@@ -52,6 +53,11 @@ type HybridConfig struct {
 	Frames int
 	// Counters receives queue and spill accounting. May be nil.
 	Counters *stats.Counters
+	// Obs receives spill events for the observability layer; Part tags them
+	// with the owning engine's partition id (-1 when sequential). May be
+	// nil.
+	Obs  *obs.Recorder
+	Part int32
 }
 
 // HybridQueue is the paper's three-tier queue. The ordering is determined by
@@ -232,8 +238,7 @@ func (q *HybridQueue[T]) spill(v T, d float64) error {
 			f.MarkDirty()
 			q.pool.Unpin(f)
 			b.count++
-			q.diskLen++
-			q.counters.AddQueueDiskPair(1)
+			q.noteSpill(d)
 			return nil
 		}
 		q.pool.Unpin(f)
@@ -249,9 +254,16 @@ func (q *HybridQueue[T]) spill(v T, d float64) error {
 	b.head = f.ID()
 	q.pool.Unpin(f)
 	b.count++
+	q.noteSpill(d)
+	return nil
+}
+
+// noteSpill records one pair landing on the disk tier with both accounting
+// sinks.
+func (q *HybridQueue[T]) noteSpill(d float64) {
 	q.diskLen++
 	q.counters.AddQueueDiskPair(1)
-	return nil
+	q.cfg.Obs.Spill(q.cfg.Part, d, q.diskLen)
 }
 
 // loadBucket reads and frees every page of bucket idx, appending the

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -97,5 +98,47 @@ func TestTimer(t *testing.T) {
 	time.Sleep(time.Millisecond)
 	if tm.Elapsed() < time.Millisecond {
 		t.Fatal("timer did not advance")
+	}
+}
+
+// TestMergeMaxQueueConcurrent stress-tests the Merge contract under the
+// race detector: when many worker shards merge into one target
+// concurrently, MaxQueueSize must end up as the high-water MAXIMUM of the
+// shard peaks — partition queues are independent, so their peaks must never
+// be summed — while additive fields sum exactly.
+func TestMergeMaxQueueConcurrent(t *testing.T) {
+	const workers = 16
+	const mergesPerWorker = 8
+	shards := make([]*Counters, workers)
+	for i := range shards {
+		shards[i] = &Counters{}
+		// Distinct peak per shard: worker i's queue grows to 100*(i+1).
+		for size := int64(1); size <= int64(100*(i+1)); size++ {
+			shards[i].QueueInsert(size)
+		}
+		shards[i].AddDistCalc(10)
+	}
+	wantMax := int64(100 * workers)
+
+	total := &Counters{}
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(s *Counters) {
+			defer wg.Done()
+			for j := 0; j < mergesPerWorker; j++ {
+				total.Merge(s)
+			}
+		}(shards[i])
+	}
+	wg.Wait()
+
+	got := total.Snapshot()
+	if got.MaxQueueSize != wantMax {
+		t.Errorf("MaxQueueSize = %d, want high-water max %d (a sum would be %d)",
+			got.MaxQueueSize, wantMax, int64(100*workers*(workers+1)/2*mergesPerWorker))
+	}
+	if want := int64(10 * workers * mergesPerWorker); got.DistCalcs != want {
+		t.Errorf("DistCalcs = %d, want %d", got.DistCalcs, want)
 	}
 }

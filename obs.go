@@ -1,0 +1,84 @@
+package distjoin
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"distjoin/internal/obs"
+	"distjoin/internal/stats"
+)
+
+// Observability — the public surface of internal/obs. A Recorder attached
+// to Options.Obs collects a structured event trace, incremental-latency
+// histograms (inter-pair delay, pop-to-emit), and live gauges (queue depth,
+// result frontier, per-partition progress, buffer-pool hit ratio) from a
+// running join; ServeMetrics exposes them over HTTP as Prometheus text,
+// expvar JSON, and pprof. A nil *Recorder is valid everywhere and records
+// nothing, at zero cost — the same convention as Stats.
+
+// Recorder collects events and metrics from a join execution.
+type Recorder = obs.Recorder
+
+// ObsConfig configures a Recorder.
+type ObsConfig = obs.Config
+
+// ObsEvent is one structured engine event; ObsEventType identifies its
+// kind.
+type (
+	ObsEvent     = obs.Event
+	ObsEventType = obs.EventType
+)
+
+// ObsSnapshot is a point-in-time view of a Recorder's metrics.
+type ObsSnapshot = obs.Snapshot
+
+// MetricsServer is a running metrics/pprof HTTP server.
+type MetricsServer = obs.MetricsServer
+
+// Trace event types.
+const (
+	EvEngineStart = obs.EvEngineStart
+	EvEngineStop  = obs.EvEngineStop
+	EvExpand      = obs.EvExpand
+	EvEmit        = obs.EvEmit
+	EvDeliver     = obs.EvDeliver
+	EvSpill       = obs.EvSpill
+	EvMergeStall  = obs.EvMergeStall
+	EvRestart     = obs.EvRestart
+)
+
+// NewRecorder creates an observability recorder; assign it to Options.Obs
+// (and attach it to indexes with Index.SetObserver to capture buffer-pool
+// hit ratios).
+func NewRecorder(cfg ObsConfig) *Recorder { return obs.New(cfg) }
+
+// ServeMetrics serves /metrics (Prometheus text), /debug/vars (expvar) and
+// /debug/pprof on addr in a background goroutine. The stats argument may be
+// nil.
+func ServeMetrics(addr string, r *Recorder, c *Stats) (*MetricsServer, error) {
+	return obs.ServeMetrics(addr, r, (*stats.Counters)(c))
+}
+
+// MetricsHandler returns an http.Handler serving the Prometheus text
+// exposition, for mounting in a caller-owned mux.
+func MetricsHandler(r *Recorder, c *Stats) http.Handler {
+	return obs.Handler(r, (*stats.Counters)(c))
+}
+
+// ReadTrace parses a JSONL trace written via ObsConfig.Trace.
+func ReadTrace(rd io.Reader) ([]ObsEvent, error) { return obs.ReadTrace(rd) }
+
+// TimeToKth scans a trace for the k-th delivered pair, returning its
+// elapsed time and distance; ok is false when fewer than k pairs were
+// delivered.
+func TimeToKth(events []ObsEvent, k int64) (t time.Duration, dist float64, ok bool) {
+	return obs.TimeToKth(events, k)
+}
+
+// SetObserver attaches both accounting sinks to the index's buffer pool:
+// node I/O flows into c (as with SetCounters) and, when r is non-nil, also
+// feeds r's live pool-hit-ratio gauge. Either argument may be nil.
+func (idx *Index) SetObserver(r *Recorder, c *Stats) {
+	idx.tree.Pool().SetCounters(r.PoolTap(stats.NodeSink((*stats.Counters)(c))))
+}
