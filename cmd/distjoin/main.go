@@ -6,6 +6,7 @@
 //
 //	distjoin -a water.csv -b roads.csv [-semi] [-k 10] [-min d] [-max d]
 //	         [-metric euclidean|manhattan|chessboard] [-reverse] [-parallel n]
+//	         [-queue memory|hybrid] [-queue-dt d] [-retries n] [-retry-backoff 1ms]
 //	         [-stats] [-stats-json] [-trace file] [-metrics-addr :8090]
 //	         [-progress] [-linger 30s]
 //
@@ -46,6 +47,10 @@ type cliOptions struct {
 	metricName   string
 	reverse      bool
 	parallel     int
+	queueName    string
+	queueDT      float64
+	retries      int
+	retryBackoff time.Duration
 	showStats    bool
 	statsJSON    bool
 	tracePath    string
@@ -66,6 +71,10 @@ func main() {
 	flag.StringVar(&o.metricName, "metric", "euclidean", "distance metric: euclidean, manhattan, chessboard")
 	flag.BoolVar(&o.reverse, "reverse", false, "report pairs farthest-first")
 	flag.IntVar(&o.parallel, "parallel", 0, "partition workers (0/1 sequential, -1 one per CPU)")
+	flag.StringVar(&o.queueName, "queue", "memory", "priority queue: memory, or hybrid (three-tier, pages large distances out of the heap)")
+	flag.Float64Var(&o.queueDT, "queue-dt", 0, "with -queue hybrid: bucket width D_T (0 = adaptive)")
+	flag.IntVar(&o.retries, "retries", 0, "retry transient queue-storage I/O errors up to this many attempts")
+	flag.DurationVar(&o.retryBackoff, "retry-backoff", time.Millisecond, "initial backoff between I/O retries (doubles per attempt)")
 	flag.BoolVar(&o.showStats, "stats", false, "print performance counters to stderr when done")
 	flag.BoolVar(&o.statsJSON, "stats-json", false, "print the final performance counters as JSON on stdout after the pairs")
 	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL event trace to this file")
@@ -162,6 +171,18 @@ func run(o cliOptions) error {
 		Parallelism: o.parallel,
 		Counters:    c,
 		Obs:         rec,
+	}
+	switch o.queueName {
+	case "", "memory":
+	case "hybrid":
+		opts.Queue = distjoin.QueueHybrid
+		opts.HybridDT = o.queueDT
+		opts.HybridInMemory = true
+	default:
+		return fmt.Errorf("unknown queue %q (want memory or hybrid)", o.queueName)
+	}
+	if o.retries > 0 {
+		opts.RetryIO = distjoin.RetryPolicy{MaxAttempts: o.retries, Backoff: o.retryBackoff}
 	}
 
 	if o.progress {

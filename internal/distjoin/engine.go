@@ -173,13 +173,11 @@ func (e *engine) makeQueue() error {
 			Part:     e.part,
 		}
 		cfg.PageSize = e.opts.queuePageSize()
-		if e.opts.HybridInMemory {
-			store, err := pager.NewMemStore(cfg.PageSize)
-			if err != nil {
-				return err
-			}
-			cfg.Store = store
+		store, err := e.queueStore(cfg.PageSize)
+		if err != nil {
+			return err
 		}
+		cfg.Store = store
 		hq, err := pqueue.NewHybridQueue(less, func(p qpair) float64 { return p.key }, pairCodec{dims: e.t1.Dims()}, cfg)
 		if err != nil {
 			return err
@@ -189,6 +187,64 @@ func (e *engine) makeQueue() error {
 		return fmt.Errorf("distjoin: unknown queue kind %d", e.opts.Queue)
 	}
 	return nil
+}
+
+// queueStore builds the disk-tier store for one (re)creation of the
+// hybrid queue, honouring the QueueStore factory, HybridInMemory and
+// RetryIO. A nil result lets NewHybridQueue create its own file store
+// (only possible with retrying off — the retry layer needs a store to
+// wrap).
+func (e *engine) queueStore(pageSize int) (pager.Store, error) {
+	var store pager.Store
+	switch {
+	case e.opts.QueueStore != nil:
+		s, err := e.opts.QueueStore(pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("distjoin: QueueStore factory: %w", err)
+		}
+		store = s
+	case e.opts.HybridInMemory:
+		s, err := pager.NewMemStore(pageSize)
+		if err != nil {
+			return nil, err
+		}
+		store = s
+	case e.opts.RetryIO.Enabled():
+		s, err := pager.NewFileStore(e.opts.HybridDir, pageSize)
+		if err != nil {
+			return nil, err
+		}
+		store = s
+	default:
+		return nil, nil
+	}
+	if e.opts.RetryIO.Enabled() {
+		store = pager.NewRetryStore(store, e.retryPolicy())
+	}
+	return store, nil
+}
+
+// retryPolicy extends the user's RetryIO callbacks with the engine's own
+// accounting: faults and retries land in the run's counters and the
+// observability trace, tagged with this engine's partition.
+func (e *engine) retryPolicy() pager.RetryPolicy {
+	pol := e.opts.RetryIO
+	userFault, userRetry := pol.OnFault, pol.OnRetry
+	counters, rec, part := e.opts.Counters, e.obs, e.part
+	pol.OnFault = func(op string, err error) {
+		counters.AddIOFault(1)
+		if userFault != nil {
+			userFault(op, err)
+		}
+	}
+	pol.OnRetry = func(op string, attempt int, err error) {
+		counters.AddIORetry(1)
+		rec.IORetry(part, attempt)
+		if userRetry != nil {
+			userRetry(op, attempt, err)
+		}
+	}
+	return pol
 }
 
 // seed enqueues the initial pairs: the root/root pair by default, or the

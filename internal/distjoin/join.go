@@ -45,12 +45,59 @@ func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, erro
 	return newEngine(t1, t2, opts, semi)
 }
 
+// ErrIteratorClosed is returned by Next after Close.
+var ErrIteratorClosed = errors.New("distjoin: iterator is closed")
+
+// iterState is the terminal-state machine shared by Join and SemiJoin: it
+// latches the first error a runner surfaces (every later Next returns the
+// same error, and Err exposes it), makes Close idempotent, and rejects
+// Next after Close. A failed stream is therefore always a clean prefix of
+// the correct result followed by a sticky error — never a silently
+// truncated success.
+type iterState struct {
+	r      runner
+	err    error
+	closed bool
+}
+
+func (s *iterState) next() (Pair, bool, error) {
+	if s.closed {
+		return Pair{}, false, ErrIteratorClosed
+	}
+	if s.err != nil {
+		return Pair{}, false, s.err
+	}
+	p, ok, err := s.r.next()
+	if err != nil {
+		s.err = err
+		return Pair{}, false, err
+	}
+	return p, ok, nil
+}
+
+func (s *iterState) close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.r.close()
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+// lastErr returns the latched terminal error, if any. Close by itself is
+// not an error state: only a failure surfaced by Next or by Close's own
+// resource release is reported.
+func (s *iterState) lastErr() error { return s.err }
+
 // Join is an incremental distance join iterator: it reports the pairs of
 // the Cartesian product of the two indexed inputs in ascending order of
 // distance (descending when Options.Reverse is set), one pair per Next
 // call, computing only as much of the join as the caller consumes.
 type Join struct {
-	r runner
+	s iterState
 }
 
 // NewJoin creates an incremental distance join of two R-trees. The trees
@@ -69,7 +116,7 @@ func NewJoinIndexes(t1, t2 SpatialIndex, opts Options) (*Join, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Join{r: r}, nil
+	return &Join{s: iterState{r: r}}, nil
 }
 
 // wrapTree adapts an R-tree, preserving nil for validation.
@@ -81,38 +128,48 @@ func wrapTree(t *rtree.Tree) SpatialIndex {
 }
 
 // Next returns the next closest pair. ok is false when the join is
-// exhausted (or the MaxPairs bound is reached).
-func (j *Join) Next() (p Pair, ok bool, err error) { return j.r.next() }
+// exhausted (or the MaxPairs bound is reached). Once Next returns an
+// error the iterator is in a terminal state: the pairs already delivered
+// are a correct prefix of the result, every further Next returns the same
+// error, and Err reports it. After Close, Next returns ErrIteratorClosed.
+func (j *Join) Next() (p Pair, ok bool, err error) { return j.s.next() }
+
+// Err returns the terminal error of the iterator, if any: the first error
+// Next surfaced (storage failure, checksum mismatch, failed partition
+// worker, ...). It stays nil on a clean exhaustion and after a clean
+// Close.
+func (j *Join) Err() error { return j.s.lastErr() }
 
 // Reported returns the number of pairs delivered so far.
-func (j *Join) Reported() int { return j.r.reportedCount() }
+func (j *Join) Reported() int { return j.s.r.reportedCount() }
 
 // QueueLen returns the current priority-queue size (diagnostic). On the
 // parallel path it is the number of merged-but-undelivered result pairs
 // rather than a priority-queue size (the partition queues belong to
 // running workers).
-func (j *Join) QueueLen() int { return j.r.queueLen() }
+func (j *Join) QueueLen() int { return j.s.r.queueLen() }
 
 // EffectiveMaxDist returns the maximum distance currently in force: the
 // configured maximum, possibly tightened by the §2.2.4 estimation. On the
 // parallel path each partition tightens its own bound, so this reports the
 // configured maximum.
-func (j *Join) EffectiveMaxDist() float64 { return j.r.effectiveMaxDist() }
+func (j *Join) EffectiveMaxDist() float64 { return j.s.r.effectiveMaxDist() }
 
 // Restarted reports whether the engine used the §2.2.4 restart (the
 // estimation had over-tightened the maximum distance); on the parallel
 // path, whether any partition did. Diagnostic.
-func (j *Join) Restarted() bool { return j.r.didRestart() }
+func (j *Join) Restarted() bool { return j.s.r.didRestart() }
 
-// Close releases queue resources (the hybrid queue's scratch file). The
-// iterator must not be used afterwards.
-func (j *Join) Close() error { return j.r.close() }
+// Close releases queue resources (the hybrid queue's scratch file) and, on
+// the parallel path, cancels the partition workers and waits for them to
+// exit. Close is idempotent; after it, Next returns ErrIteratorClosed.
+func (j *Join) Close() error { return j.s.close() }
 
 // SemiJoin is an incremental distance semi-join iterator (§2.3): for each
 // first-input object, its nearest second-input object, reported in
 // ascending order of distance.
 type SemiJoin struct {
-	r runner
+	s iterState
 }
 
 // NewSemiJoin creates an incremental distance semi-join of two R-trees
@@ -156,7 +213,7 @@ func NewClusteringJoinIndexes(t1, t2 SpatialIndex, filter SemiFilter, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{r: r}, nil
+	return &SemiJoin{s: iterState{r: r}}, nil
 }
 
 // NewKNearestJoinIndexes is NewKNearestJoin over arbitrary SpatialIndex
@@ -173,27 +230,32 @@ func NewKNearestJoinIndexes(t1, t2 SpatialIndex, k int, filter SemiFilter, opts 
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{r: r}, nil
+	return &SemiJoin{s: iterState{r: r}}, nil
 }
 
 // Next returns the next semi-join pair. ok is false when every first-input
 // object has been reported (or MaxPairs was reached, or no partner exists
-// within the distance range).
-func (s *SemiJoin) Next() (p Pair, ok bool, err error) { return s.r.next() }
+// within the distance range). Error semantics match Join.Next: the first
+// error is terminal and sticky, and Next after Close returns
+// ErrIteratorClosed.
+func (s *SemiJoin) Next() (p Pair, ok bool, err error) { return s.s.next() }
+
+// Err returns the terminal error of the iterator, if any; see Join.Err.
+func (s *SemiJoin) Err() error { return s.s.lastErr() }
 
 // Reported returns the number of pairs delivered so far.
-func (s *SemiJoin) Reported() int { return s.r.reportedCount() }
+func (s *SemiJoin) Reported() int { return s.s.r.reportedCount() }
 
 // QueueLen returns the current priority-queue size (diagnostic); see
 // Join.QueueLen for the parallel-path meaning.
-func (s *SemiJoin) QueueLen() int { return s.r.queueLen() }
+func (s *SemiJoin) QueueLen() int { return s.s.r.queueLen() }
 
 // Restarted reports whether the engine used the §2.2.4 restart (any
 // partition, on the parallel path). Diagnostic.
-func (s *SemiJoin) Restarted() bool { return s.r.didRestart() }
+func (s *SemiJoin) Restarted() bool { return s.s.r.didRestart() }
 
-// Close releases queue resources.
-func (s *SemiJoin) Close() error { return s.r.close() }
+// Close releases queue resources. Idempotent; see Join.Close.
+func (s *SemiJoin) Close() error { return s.s.close() }
 
 func errInvalidFilter(f SemiFilter) error {
 	return &filterError{f: f}

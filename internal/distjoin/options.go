@@ -7,6 +7,7 @@ import (
 
 	"distjoin/internal/geom"
 	"distjoin/internal/obs"
+	"distjoin/internal/pager"
 	"distjoin/internal/rtree"
 	"distjoin/internal/stats"
 )
@@ -188,6 +189,18 @@ type Options struct {
 	// Parallelism is enabled and must be safe for concurrent use (the
 	// built-in metrics are).
 	Parallelism int
+	// QueueStore supplies the hybrid queue's disk-tier page store. It is a
+	// factory, not a store: each engine owns and closes its own store, and
+	// the parallel path runs one engine per partition (a §2.2.4 restart
+	// also rebuilds the queue, calling the factory again). When set it
+	// overrides HybridInMemory and HybridDir. Useful for injecting
+	// instrumented or fault-injecting stores.
+	QueueStore func(pageSize int) (pager.Store, error)
+	// RetryIO retries transient disk-tier I/O failures (errors wrapping
+	// pager.ErrTransient) with bounded exponential backoff. The zero value
+	// disables retrying. Retries are counted in Counters.IORetries /
+	// Counters.IOFaults and traced as retry events on Obs.
+	RetryIO pager.RetryPolicy
 	// QueuePageSize is the page size in bytes of the hybrid queue's disk
 	// tier (default 4096). Larger pages batch more spilled pairs per I/O;
 	// smaller pages waste less memory on many near-empty partitions.

@@ -204,7 +204,8 @@ type parallelJoin struct {
 	heads    []parHead // merge heap of stream heads
 	started  bool
 	finished bool
-	nOut     int // pairs delivered to the caller
+	failErr  error // first worker error; sticky, returned by every later next
+	nOut     int   // pairs delivered to the caller
 
 	anyRestart atomic.Bool
 	closeMu    sync.Mutex
@@ -386,8 +387,13 @@ func (r *parallelJoin) pull(src int) error {
 	return nil
 }
 
-// next implements the order-preserving merge.
+// next implements the order-preserving merge. A worker error cancels the
+// sibling partitions, is latched, and is returned from this and every
+// later call — an errored merge never reports a clean exhaustion.
 func (r *parallelJoin) next() (Pair, bool, error) {
+	if r.failErr != nil {
+		return Pair{}, false, r.failErr
+	}
 	if r.finished {
 		return Pair{}, false, nil
 	}
@@ -409,7 +415,13 @@ func (r *parallelJoin) next() (Pair, bool, error) {
 	}
 	h := r.popHead()
 	if err := r.pull(h.src); err != nil {
-		return Pair{}, false, r.fail(err)
+		// h.pair is the minimum over every stream (each is nondecreasing),
+		// so it is still safe to deliver: the caller gets the longest
+		// correct prefix, and the latched error on the next call.
+		r.fail(err)
+		r.nOut++
+		r.obs.Deliver(h.pair.Dist)
+		return h.pair, true, nil
 	}
 	r.nOut++
 	r.obs.Deliver(h.pair.Dist)
@@ -427,8 +439,12 @@ func (r *parallelJoin) finish() {
 	r.wg.Wait()
 }
 
-// fail is finish for the error path.
+// fail is finish for the error path: cancel the siblings, wait for them
+// to exit, and latch the error.
 func (r *parallelJoin) fail(err error) error {
+	if r.failErr == nil {
+		r.failErr = err
+	}
 	r.finish()
 	return err
 }

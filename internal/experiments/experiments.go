@@ -166,6 +166,8 @@ type Run struct {
 	MaxQueue  int64
 	NodeIO    int64
 	LastDist  float64 // distance of the last reported pair
+	Retries   int64   // transient queue-I/O retries (fault experiments)
+	Err       string  // surfaced error class, "" when the run completed
 }
 
 // runJoin executes an incremental distance join up to `pairs` results.

@@ -276,6 +276,38 @@ func TestTable1Reversed(t *testing.T) {
 	}
 }
 
+func TestFaultsShape(t *testing.T) {
+	d := loadTiny(t)
+	runs, err := Faults(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("%d rows, want 4 transient + 4 unrecoverable", len(runs))
+	}
+	anyRetry := false
+	for i, r := range runs[:4] {
+		if r.Err != "" {
+			t.Fatalf("transient row %d surfaced %q", i, r.Err)
+		}
+		if r.Reported != runs[0].Reported || r.LastDist != runs[0].LastDist {
+			t.Fatalf("transient row %d diverged from clean run: %+v vs %+v", i, r, runs[0])
+		}
+		anyRetry = anyRetry || r.Retries > 0
+	}
+	if !anyRetry {
+		t.Fatal("no transient leg recorded a retry — faults never reached the queue store")
+	}
+	for _, r := range runs[4:] {
+		if r.Err == "" {
+			t.Fatalf("unrecoverable row %q completed cleanly", r.Label)
+		}
+		if r.Reported >= r.Pairs {
+			t.Fatalf("unrecoverable row %q reported all %d pairs", r.Label, r.Reported)
+		}
+	}
+}
+
 func TestPrintRuns(t *testing.T) {
 	var buf bytes.Buffer
 	PrintRuns(&buf, "demo", []Run{

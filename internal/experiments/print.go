@@ -14,15 +14,36 @@ import (
 // maximum queue size, node I/O.
 func PrintRuns(w io.Writer, title string, runs []Run) {
 	fmt.Fprintf(w, "== %s ==\n", title)
+	// The fault-injection columns only appear when some run used them, so
+	// the paper-reproduction tables keep their exact Table-1 shape.
+	faults := false
+	for _, r := range runs {
+		if r.Retries != 0 || r.Err != "" {
+			faults = true
+			break
+		}
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "variant\tpairs\treported\ttime\tdist.calc\tqueue max\tnode I/O\tlast dist")
+	header := "variant\tpairs\treported\ttime\tdist.calc\tqueue max\tnode I/O\tlast dist"
+	if faults {
+		header += "\tretries\terror"
+	}
+	fmt.Fprintln(tw, header)
 	for _, r := range runs {
 		pairs := fmt.Sprintf("%d", r.Pairs)
 		if r.Pairs <= 0 {
 			pairs = "all"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%d\t%d\t%.2f\n",
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%d\t%d\t%.2f",
 			r.Label, pairs, r.Reported, FormatDuration(r.Time), r.DistCalcs, r.MaxQueue, r.NodeIO, r.LastDist)
+		if faults {
+			errCell := r.Err
+			if errCell == "" {
+				errCell = "-"
+			}
+			fmt.Fprintf(tw, "\t%d\t%s", r.Retries, errCell)
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
 	fmt.Fprintln(w)
@@ -54,6 +75,8 @@ func WriteJSON(w io.Writer, id string, runs []Run) error {
 		QueueMax   int64   `json:"queue_max"`
 		NodeIO     int64   `json:"node_io"`
 		LastDist   float64 `json:"last_dist"`
+		Retries    int64   `json:"io_retries,omitempty"`
+		Err        string  `json:"error,omitempty"`
 	}
 	rows := make([]row, len(runs))
 	for i, r := range runs {
@@ -67,6 +90,8 @@ func WriteJSON(w io.Writer, id string, runs []Run) error {
 			QueueMax:   r.MaxQueue,
 			NodeIO:     r.NodeIO,
 			LastDist:   r.LastDist,
+			Retries:    r.Retries,
+			Err:        r.Err,
 		}
 	}
 	enc := json.NewEncoder(w)

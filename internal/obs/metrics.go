@@ -25,6 +25,7 @@ func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
 	writeCounter(w, "distjoin_queue_spilled_pairs_total", "Pairs spilled to the hybrid priority queue's disk tier.", s.SpilledPairs)
 	writeCounter(w, "distjoin_merge_stalls_total", "Times the parallel merge blocked waiting on a partition stream.", s.MergeStalls)
 	writeCounter(w, "distjoin_restarts_total", "Engine restarts after an over-tight estimated maximum distance.", s.Restarts)
+	writeCounter(w, "distjoin_io_retries_total", "Retries of transient queue-store I/O failures (Options.RetryIO).", s.IORetries)
 	writeCounter(w, "distjoin_engines_started_total", "Engines (sequential or partition workers) started.", s.EnginesStarted)
 	writeCounter(w, "distjoin_engines_stopped_total", "Engines stopped.", s.EnginesStopped)
 	writeGauge(w, "distjoin_queue_depth", "Last sampled priority-queue length.", float64(s.QueueDepth))

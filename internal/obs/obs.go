@@ -62,6 +62,10 @@ const (
 	// EvRestart marks the §2.2.4 restart (the maximum-distance estimation
 	// over-tightened and the query re-runs without it).
 	EvRestart
+	// EvRetry marks a retry of a transient queue-store I/O failure
+	// (Options.RetryIO). N is the 1-based number of the attempt that
+	// failed.
+	EvRetry
 )
 
 var eventNames = [...]string{
@@ -73,6 +77,7 @@ var eventNames = [...]string{
 	EvSpill:       "spill",
 	EvMergeStall:  "stall",
 	EvRestart:     "restart",
+	EvRetry:       "retry",
 }
 
 func (t EventType) String() string {
@@ -129,6 +134,7 @@ type Recorder struct {
 	spilledPairs atomic.Int64
 	stalls       atomic.Int64
 	restarts     atomic.Int64
+	ioRetries    atomic.Int64
 	startedEng   atomic.Int64
 	stoppedEng   atomic.Int64
 	queueDepth   atomic.Int64
@@ -221,6 +227,16 @@ func (r *Recorder) Restart(part int32) {
 	}
 	r.restarts.Add(1)
 	r.record(Event{T: time.Since(r.epoch), Type: EvRestart, Part: part})
+}
+
+// IORetry records one retry of a transient queue-store I/O failure;
+// attempt is the 1-based number of the attempt that failed.
+func (r *Recorder) IORetry(part int32, attempt int) {
+	if r == nil {
+		return
+	}
+	r.ioRetries.Add(1)
+	r.record(Event{T: time.Since(r.epoch), Type: EvRetry, Part: part, N: int64(attempt)})
 }
 
 // Expand records one node-pair expansion at queue key dist.
@@ -403,6 +419,7 @@ type Snapshot struct {
 	SpilledPairs   int64             `json:"queue_spilled_pairs"`
 	MergeStalls    int64             `json:"merge_stalls"`
 	Restarts       int64             `json:"restarts"`
+	IORetries      int64             `json:"io_retries"`
 	EnginesStarted int64             `json:"engines_started"`
 	EnginesStopped int64             `json:"engines_stopped"`
 	QueueDepth     int64             `json:"queue_depth"`
@@ -440,6 +457,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		SpilledPairs:   r.spilledPairs.Load(),
 		MergeStalls:    r.stalls.Load(),
 		Restarts:       r.restarts.Load(),
+		IORetries:      r.ioRetries.Load(),
 		EnginesStarted: r.startedEng.Load(),
 		EnginesStopped: r.stoppedEng.Load(),
 		QueueDepth:     r.queueDepth.Load(),

@@ -136,8 +136,10 @@ func (p *Pool) Allocate() (*Frame, error) {
 	}
 	f, err := p.admit(id)
 	if err != nil {
-		// Roll back the allocation so the store does not leak a page.
-		p.store.Free(id)
+		// Roll back the allocation so the store does not leak a page. If
+		// Free itself fails the page leaks in the store, but the original
+		// admit error is the one the caller must see.
+		_ = p.store.Free(id)
 		return nil, err
 	}
 	f.dirty = true
@@ -199,8 +201,17 @@ func (p *Pool) evictOne() error {
 	return nil
 }
 
-// discard drops a pinned frame without write-back (used on failed reads).
+// discard drops a frame without write-back after a failed read, releasing
+// its pin, so the failed page is neither cached nor left pinned: a later
+// Get retries the physical read from scratch. The frame is normally still
+// pinned and off the LRU, but both are handled defensively.
 func (p *Pool) discard(f *Frame) {
+	f.pins = 0
+	f.dirty = false
+	if f.lruElem != nil {
+		p.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
 	delete(p.frames, f.id)
 }
 

@@ -1,0 +1,108 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestPoolGetReadFailureLeavesNoResidue is the regression test for the
+// failed-read path of Pool.Get: the frame must be neither cached nor left
+// pinned, so the page can be re-fetched once the store recovers and the
+// pool can still be Reset (which refuses pinned frames).
+func TestPoolGetReadFailureLeavesNoResidue(t *testing.T) {
+	fs, id := newFlaky(t)
+	want := bytes.Repeat([]byte{0xAB}, 128)
+	if err := fs.Store.WritePage(id, want); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(fs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs.readErrs = []error{transientErr()}
+	if _, err := pool.Get(id); err == nil {
+		t.Fatal("Get should surface the read error")
+	}
+	if n := pool.Resident(); n != 0 {
+		t.Fatalf("failed read left %d resident frame(s)", n)
+	}
+
+	// The store recovered: the same Get must now re-read physically and
+	// return the real bytes, not a zeroed cached frame.
+	f, err := pool.Get(id)
+	if err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+	if !bytes.Equal(f.Data(), want) {
+		t.Fatal("Get after recovery returned stale/zeroed data")
+	}
+	pool.Unpin(f)
+
+	// No pin leaked: Reset succeeds.
+	if err := pool.Reset(); err != nil {
+		t.Fatalf("Reset after failed read: %v", err)
+	}
+}
+
+// TestPoolAllocateRollsBackOnAdmitFailure pins the pool full so admit
+// fails, and checks Allocate frees the just-allocated page again.
+func TestPoolAllocateRollsBackOnAdmitFailure(t *testing.T) {
+	mem, err := NewMemStore(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	pool, err := NewPool(mem, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool full of pinned frames: the next Allocate cannot admit.
+	if _, err := pool.Allocate(); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("want ErrAllPinned, got %v", err)
+	}
+	if n := mem.NumAllocated(); n != 1 {
+		t.Fatalf("failed Allocate leaked a store page: NumAllocated=%d, want 1", n)
+	}
+	pool.Unpin(f)
+}
+
+// TestPoolEvictionWriteFailureKeepsFrame: a failed write-back during
+// eviction must keep the dirty frame (and its LRU entry) so the data is
+// not lost and a later eviction can retry.
+func TestPoolEvictionWriteFailureKeepsFrame(t *testing.T) {
+	fs, _ := newFlaky(t)
+	pool, err := NewPool(fs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data(), bytes.Repeat([]byte{0x5A}, 128))
+	f.MarkDirty()
+	dirtyID := f.ID()
+	pool.Unpin(f)
+
+	fs.writeErrs = []error{transientErr()}
+	if _, err := pool.Allocate(); err == nil {
+		t.Fatal("Allocate should surface the eviction write-back error")
+	}
+	// The dirty frame survived and flushes cleanly once the store recovers.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatalf("FlushAll after recovery: %v", err)
+	}
+	buf := make([]byte, 128)
+	if err := fs.Store.ReadPage(dirtyID, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x5A {
+		t.Fatal("dirty page lost after failed eviction")
+	}
+}

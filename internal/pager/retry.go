@@ -1,0 +1,122 @@
+package pager
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTransient classifies I/O failures that have a reasonable chance of
+// succeeding when retried (interrupted syscalls, throttled devices, flaky
+// network storage). Stores signal it by wrapping it into returned errors;
+// RetryStore retries exactly the errors for which IsTransient reports true.
+var ErrTransient = errors.New("pager: transient I/O error")
+
+// IsTransient reports whether err is a retryable storage failure.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient)
+}
+
+// RetryPolicy bounds how RetryStore re-attempts transient failures.
+// The zero value disables retrying (a single attempt per operation).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, including
+	// the first. Values below 2 disable retrying.
+	MaxAttempts int
+	// Backoff is the delay before the first retry. Zero retries
+	// immediately.
+	Backoff time.Duration
+	// Multiplier grows the delay after every retry. Values below 1 are
+	// treated as 2 (plain exponential backoff).
+	Multiplier float64
+	// MaxBackoff caps the grown delay. Zero means uncapped.
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep, letting tests retry without waiting.
+	Sleep func(time.Duration)
+	// OnFault is called for every failed attempt, including permanent
+	// errors and the final exhausted attempt, before OnRetry.
+	OnFault func(op string, err error)
+	// OnRetry is called just before each re-attempt with the 1-based
+	// number of the attempt that failed.
+	OnRetry func(op string, attempt int, err error)
+}
+
+// Enabled reports whether the policy actually retries anything.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// RetryStore wraps a Store and re-attempts operations that fail with a
+// transient error (per IsTransient), sleeping an exponentially growing
+// backoff between attempts. Permanent errors pass through untouched on
+// the first attempt. It adds no locking of its own: it is exactly as
+// concurrency-safe as the wrapped store.
+type RetryStore struct {
+	inner  Store
+	policy RetryPolicy
+}
+
+// NewRetryStore wraps inner with the given policy.
+func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
+	if policy.Multiplier < 1 {
+		policy.Multiplier = 2
+	}
+	if policy.Sleep == nil {
+		policy.Sleep = time.Sleep
+	}
+	return &RetryStore{inner: inner, policy: policy}
+}
+
+// Inner returns the wrapped store.
+func (s *RetryStore) Inner() Store { return s.inner }
+
+func (s *RetryStore) do(op string, f func() error) error {
+	delay := s.policy.Backoff
+	for attempt := 1; ; attempt++ {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		if s.policy.OnFault != nil {
+			s.policy.OnFault(op, err)
+		}
+		if !IsTransient(err) || attempt >= s.policy.MaxAttempts {
+			return err
+		}
+		if s.policy.OnRetry != nil {
+			s.policy.OnRetry(op, attempt, err)
+		}
+		if delay > 0 {
+			s.policy.Sleep(delay)
+			delay = time.Duration(float64(delay) * s.policy.Multiplier)
+			if s.policy.MaxBackoff > 0 && delay > s.policy.MaxBackoff {
+				delay = s.policy.MaxBackoff
+			}
+		}
+	}
+}
+
+func (s *RetryStore) PageSize() int { return s.inner.PageSize() }
+
+func (s *RetryStore) Allocate() (PageID, error) {
+	var id PageID
+	err := s.do("allocate", func() error {
+		var err error
+		id, err = s.inner.Allocate()
+		return err
+	})
+	return id, err
+}
+
+func (s *RetryStore) Free(id PageID) error {
+	return s.do("free", func() error { return s.inner.Free(id) })
+}
+
+func (s *RetryStore) ReadPage(id PageID, buf []byte) error {
+	return s.do("read", func() error { return s.inner.ReadPage(id, buf) })
+}
+
+func (s *RetryStore) WritePage(id PageID, data []byte) error {
+	return s.do("write", func() error { return s.inner.WritePage(id, data) })
+}
+
+func (s *RetryStore) NumAllocated() int { return s.inner.NumAllocated() }
+
+func (s *RetryStore) Close() error { return s.inner.Close() }

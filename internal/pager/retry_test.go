@@ -1,0 +1,137 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// flakyStore fails ReadPage/WritePage with scripted errors before
+// succeeding; a pager-local stand-in for the faultstore package (which
+// cannot be imported here without a cycle).
+type flakyStore struct {
+	Store
+	readErrs  []error // consumed front-to-back; nil entries succeed
+	writeErrs []error
+}
+
+func (s *flakyStore) nextErr(q *[]error) error {
+	if len(*q) == 0 {
+		return nil
+	}
+	err := (*q)[0]
+	*q = (*q)[1:]
+	return err
+}
+
+func (s *flakyStore) ReadPage(id PageID, buf []byte) error {
+	if err := s.nextErr(&s.readErrs); err != nil {
+		return err
+	}
+	return s.Store.ReadPage(id, buf)
+}
+
+func (s *flakyStore) WritePage(id PageID, data []byte) error {
+	if err := s.nextErr(&s.writeErrs); err != nil {
+		return err
+	}
+	return s.Store.WritePage(id, data)
+}
+
+func transientErr() error {
+	return fmt.Errorf("flaky: %w", ErrTransient)
+}
+
+func newFlaky(t *testing.T) (*flakyStore, PageID) {
+	t.Helper()
+	mem, err := NewMemStore(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mem.Close() })
+	id, err := mem.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.WritePage(id, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	return &flakyStore{Store: mem}, id
+}
+
+func TestRetryStoreRecoversTransient(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr(), transientErr()}
+	var retries, faults int
+	rs := NewRetryStore(fs, RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		OnRetry:     func(op string, attempt int, err error) { retries++ },
+		OnFault:     func(op string, err error) { faults++ },
+	})
+	buf := make([]byte, 128)
+	if err := rs.ReadPage(id, buf); err != nil {
+		t.Fatalf("ReadPage after retries: %v", err)
+	}
+	if retries != 2 || faults != 2 {
+		t.Fatalf("retries=%d faults=%d, want 2/2", retries, faults)
+	}
+}
+
+func TestRetryStoreExhaustsAttempts(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr(), transientErr(), transientErr()}
+	rs := NewRetryStore(fs, RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	err := rs.ReadPage(id, make([]byte, 128))
+	if !IsTransient(err) {
+		t.Fatalf("want transient error after exhaustion, got %v", err)
+	}
+	if len(fs.readErrs) != 0 {
+		t.Fatalf("expected exactly 3 attempts, %d scripted errors left", len(fs.readErrs))
+	}
+}
+
+func TestRetryStorePermanentErrorNotRetried(t *testing.T) {
+	perm := errors.New("disk on fire")
+	fs, id := newFlaky(t)
+	fs.writeErrs = []error{perm}
+	var retries int
+	rs := NewRetryStore(fs, RetryPolicy{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+		OnRetry:     func(string, int, error) { retries++ },
+	})
+	if err := rs.WritePage(id, make([]byte, 128)); !errors.Is(err, perm) {
+		t.Fatalf("want the permanent error verbatim, got %v", err)
+	}
+	if retries != 0 {
+		t.Fatalf("permanent error was retried %d times", retries)
+	}
+}
+
+func TestRetryStoreBackoffGrowsAndCaps(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr(), transientErr(), transientErr(), transientErr()}
+	var sleeps []time.Duration
+	rs := NewRetryStore(fs, RetryPolicy{
+		MaxAttempts: 5,
+		Backoff:     10 * time.Millisecond,
+		Multiplier:  2,
+		MaxBackoff:  25 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	if err := rs.ReadPage(id, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond, 25 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps=%v want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("sleeps=%v want %v", sleeps, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sort"
 
@@ -82,6 +83,12 @@ type HybridQueue[T any] struct {
 
 	// adaptive-mode sampling
 	sampled []float64
+
+	// failed poisons the queue after the first storage error: once the
+	// disk tier has failed mid-operation the in-memory bookkeeping can no
+	// longer be trusted, so every later Insert/Pop/Peek returns the same
+	// error instead of silently serving a truncated or misordered stream.
+	failed error
 }
 
 // bucket is one linked page list of the disk tier.
@@ -90,7 +97,42 @@ type bucket struct {
 	count int // total elements in the bucket
 }
 
-const bucketHeaderSize = 8 // next page (4) + count (2) + pad (2)
+// Disk-tier page layout: next page (4) + count (2) + pad (2) + CRC-32C (4)
+// + reserved (4), then count fixed-size encoded elements. The checksum
+// covers the whole page except its own field, so torn or bit-rotted pages
+// surface as ErrPageChecksum instead of decoding into garbage pairs.
+const (
+	bucketHeaderSize = 16
+	pageCRCOffset    = 8
+)
+
+// ErrPageChecksum reports a disk-tier page whose stored CRC-32C does not
+// match its contents.
+var ErrPageChecksum = errors.New("pqueue: disk page checksum mismatch")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// pageCRC computes the checksum of a page, skipping the CRC field itself.
+func pageCRC(data []byte) uint32 {
+	c := crc32.Checksum(data[:pageCRCOffset], crcTable)
+	return crc32.Update(c, crcTable, data[pageCRCOffset+4:])
+}
+
+// sealPage stamps the page's checksum; call after every mutation, before
+// the frame is unpinned.
+func sealPage(data []byte) {
+	binary.LittleEndian.PutUint32(data[pageCRCOffset:], pageCRC(data))
+}
+
+// verifyPage checks a page read from the disk tier against its stored
+// checksum.
+func verifyPage(id pager.PageID, data []byte) error {
+	stored := binary.LittleEndian.Uint32(data[pageCRCOffset:])
+	if got := pageCRC(data); got != stored {
+		return fmt.Errorf("%w: page %d (stored %08x, computed %08x)", ErrPageChecksum, id, stored, got)
+	}
+	return nil
+}
 
 // NewHybridQueue creates a hybrid queue. See HybridConfig for knobs.
 func NewHybridQueue[T any](less func(a, b T) bool, key func(T) float64, codec Codec[T], cfg HybridConfig) (*HybridQueue[T], error) {
@@ -152,17 +194,28 @@ func (q *HybridQueue[T]) Len() int { return q.heap.Len() + len(q.list) + q.diskL
 
 // Insert implements Queue.
 func (q *HybridQueue[T]) Insert(v T) error {
+	if q.failed != nil {
+		return q.failed
+	}
 	defer q.counters.QueueInsert(int64(q.Len() + 1))
 	d := q.key(v)
 	if q.cfg.Adaptive && q.cfg.DT == 0 {
 		q.sampled = append(q.sampled, d)
 		q.heap.Insert(v)
 		if len(q.sampled) >= q.cfg.AdaptiveSample {
-			return q.fixAdaptiveDT()
+			return q.fail(q.fixAdaptiveDT())
 		}
 		return nil
 	}
-	return q.place(v, d)
+	return q.fail(q.place(v, d))
+}
+
+// fail latches the first storage error, poisoning the queue.
+func (q *HybridQueue[T]) fail(err error) error {
+	if err != nil && q.failed == nil {
+		q.failed = err
+	}
+	return err
 }
 
 // place routes an element to the tier covering its distance.
@@ -231,10 +284,15 @@ func (q *HybridQueue[T]) spill(v T, d float64) error {
 		if err != nil {
 			return err
 		}
+		if err := verifyPage(b.head, f.Data()); err != nil {
+			q.pool.Unpin(f)
+			return err
+		}
 		n := int(binary.LittleEndian.Uint16(f.Data()[4:]))
 		if n < q.perPage {
 			q.codec.Encode(f.Data()[bucketHeaderSize+n*size:], v)
 			binary.LittleEndian.PutUint16(f.Data()[4:], uint16(n+1))
+			sealPage(f.Data())
 			f.MarkDirty()
 			q.pool.Unpin(f)
 			b.count++
@@ -250,6 +308,7 @@ func (q *HybridQueue[T]) spill(v T, d float64) error {
 	binary.LittleEndian.PutUint32(f.Data()[0:], uint32(b.head))
 	binary.LittleEndian.PutUint16(f.Data()[4:], 1)
 	q.codec.Encode(f.Data()[bucketHeaderSize:], v)
+	sealPage(f.Data())
 	f.MarkDirty()
 	b.head = f.ID()
 	q.pool.Unpin(f)
@@ -267,18 +326,23 @@ func (q *HybridQueue[T]) noteSpill(d float64) {
 }
 
 // loadBucket reads and frees every page of bucket idx, appending the
-// elements to the in-memory list.
+// elements to the in-memory list. Bookkeeping is advanced page by page so
+// that a failure mid-chain leaves Len() consistent with what was actually
+// recovered (the caller then poisons the queue anyway).
 func (q *HybridQueue[T]) loadBucket(idx int) error {
 	b := q.buckets[idx]
 	if b == nil {
 		return nil
 	}
-	delete(q.buckets, idx)
 	size := q.codec.Size()
-	page := b.head
-	for page != pager.InvalidPage {
+	for b.head != pager.InvalidPage {
+		page := b.head
 		f, err := q.pool.Get(page)
 		if err != nil {
+			return err
+		}
+		if err := verifyPage(page, f.Data()); err != nil {
+			q.pool.Unpin(f)
 			return err
 		}
 		next := pager.PageID(binary.LittleEndian.Uint32(f.Data()[0:]))
@@ -287,12 +351,14 @@ func (q *HybridQueue[T]) loadBucket(idx int) error {
 			q.list = append(q.list, q.codec.Decode(f.Data()[bucketHeaderSize+i*size:]))
 		}
 		q.pool.Unpin(f)
+		b.head = next
+		b.count -= n
+		q.diskLen -= n
 		if err := q.pool.Drop(page); err != nil {
 			return err
 		}
-		page = next
 	}
-	q.diskLen -= b.count
+	delete(q.buckets, idx)
 	return nil
 }
 
@@ -333,8 +399,11 @@ func (q *HybridQueue[T]) refill() error {
 // Pop implements Queue.
 func (q *HybridQueue[T]) Pop() (T, bool, error) {
 	var zero T
+	if q.failed != nil {
+		return zero, false, q.failed
+	}
 	if q.heap.Empty() {
-		if err := q.refill(); err != nil {
+		if err := q.fail(q.refill()); err != nil {
 			return zero, false, err
 		}
 		if q.heap.Empty() {
@@ -348,8 +417,11 @@ func (q *HybridQueue[T]) Pop() (T, bool, error) {
 // Peek implements Queue.
 func (q *HybridQueue[T]) Peek() (T, bool, error) {
 	var zero T
+	if q.failed != nil {
+		return zero, false, q.failed
+	}
 	if q.heap.Empty() {
-		if err := q.refill(); err != nil {
+		if err := q.fail(q.refill()); err != nil {
 			return zero, false, err
 		}
 		if q.heap.Empty() {

@@ -59,6 +59,12 @@ type Counters struct {
 	// Filtered counts pairs discarded by semi-join filtering or distance
 	// range pruning before reaching the queue.
 	Filtered int64
+	// IOFaults counts failed physical I/O attempts observed by the retry
+	// layer, including transient failures later recovered by a retry.
+	IOFaults int64
+	// IORetries counts re-attempts after transient I/O failures
+	// (Options.RetryIO). IOFaults - IORetries ≤ surfaced errors.
+	IORetries int64
 }
 
 // NodeIO returns reads+writes, the "Node I/O" measure of Table 1.
@@ -152,6 +158,20 @@ func (c *Counters) Filter(n int64) {
 	}
 }
 
+// AddIOFault records n failed physical I/O attempts.
+func (c *Counters) AddIOFault(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.IOFaults, n)
+	}
+}
+
+// AddIORetry records n retries of transient I/O failures.
+func (c *Counters) AddIORetry(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.IORetries, n)
+	}
+}
+
 // Reset zeroes all counters. Not atomic as a whole: do not race Reset with
 // concurrent recorders.
 func (c *Counters) Reset() {
@@ -181,6 +201,8 @@ func (c *Counters) Snapshot() Counters {
 		QueueWrites:    atomic.LoadInt64(&c.QueueWrites),
 		PairsReported:  atomic.LoadInt64(&c.PairsReported),
 		Filtered:       atomic.LoadInt64(&c.Filtered),
+		IOFaults:       atomic.LoadInt64(&c.IOFaults),
+		IORetries:      atomic.LoadInt64(&c.IORetries),
 	}
 }
 
@@ -208,6 +230,8 @@ func (c *Counters) Merge(other *Counters) {
 	atomic.AddInt64(&c.QueueWrites, o.QueueWrites)
 	atomic.AddInt64(&c.PairsReported, o.PairsReported)
 	atomic.AddInt64(&c.Filtered, o.Filtered)
+	atomic.AddInt64(&c.IOFaults, o.IOFaults)
+	atomic.AddInt64(&c.IORetries, o.IORetries)
 }
 
 // String formats the Table 1 measures compactly.

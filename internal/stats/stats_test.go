@@ -142,3 +142,59 @@ func TestMergeMaxQueueConcurrent(t *testing.T) {
 		t.Errorf("DistCalcs = %d, want %d", got.DistCalcs, want)
 	}
 }
+
+// TestMergeRetryCountersConcurrent is the property test for the I/O fault
+// accounting added with the retry layer: shards record faults and retries
+// concurrently with merges into a shared total, and the final totals must be
+// the exact sums across shards — no lost updates, no double counting beyond
+// the deliberate repeat merges.
+func TestMergeRetryCountersConcurrent(t *testing.T) {
+	const workers = 12
+	const opsPerWorker = 500
+	const mergesPerWorker = 4
+
+	shards := make([]*Counters, workers)
+	var fill sync.WaitGroup
+	for i := range shards {
+		shards[i] = &Counters{}
+		fill.Add(1)
+		// Writers hammer each shard concurrently: AddIOFault/AddIORetry must
+		// be atomic within a shard too, not just across Merge.
+		go func(s *Counters, id int) {
+			defer fill.Done()
+			for j := 0; j < opsPerWorker; j++ {
+				s.AddIOFault(1)
+				if j%3 == 0 {
+					s.AddIORetry(2)
+				}
+			}
+			s.QueueInsert(int64(10 * (id + 1)))
+		}(shards[i], i)
+	}
+	fill.Wait()
+
+	perShardRetries := int64(2 * ((opsPerWorker + 2) / 3))
+	total := &Counters{}
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(s *Counters) {
+			defer wg.Done()
+			for j := 0; j < mergesPerWorker; j++ {
+				total.Merge(s)
+			}
+		}(shards[i])
+	}
+	wg.Wait()
+
+	got := total.Snapshot()
+	if want := int64(workers * opsPerWorker * mergesPerWorker); got.IOFaults != want {
+		t.Errorf("IOFaults = %d, want %d", got.IOFaults, want)
+	}
+	if want := int64(workers) * perShardRetries * mergesPerWorker; got.IORetries != want {
+		t.Errorf("IORetries = %d, want %d", got.IORetries, want)
+	}
+	if want := int64(10 * workers); got.MaxQueueSize != want {
+		t.Errorf("MaxQueueSize = %d, want max %d", got.MaxQueueSize, want)
+	}
+}

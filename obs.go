@@ -46,6 +46,7 @@ const (
 	EvSpill       = obs.EvSpill
 	EvMergeStall  = obs.EvMergeStall
 	EvRestart     = obs.EvRestart
+	EvRetry       = obs.EvRetry
 )
 
 // NewRecorder creates an observability recorder; assign it to Options.Obs

@@ -1,0 +1,39 @@
+package distjoin
+
+import (
+	"distjoin/internal/distjoin"
+	"distjoin/internal/pager"
+)
+
+// PageID identifies a page in a PageStore.
+type PageID = pager.PageID
+
+// PageStore is the paged-storage interface behind the hybrid queue's disk
+// tier (and the R*-tree). Implement it — typically by wrapping an
+// existing store — to supply instrumented, throttled or fault-injecting
+// storage via Options.QueueStore.
+type PageStore = pager.Store
+
+// NewMemPageStore returns an in-memory PageStore with the given page
+// size, the usual base for custom store wrappers and deterministic tests.
+func NewMemPageStore(pageSize int) (PageStore, error) {
+	return pager.NewMemStore(pageSize)
+}
+
+// NewFilePageStore returns a PageStore backed by an unlinked scratch file
+// in dir (empty means the default temp directory).
+func NewFilePageStore(dir string, pageSize int) (PageStore, error) {
+	return pager.NewFileStore(dir, pageSize)
+}
+
+// RetryPolicy bounds the retrying of transient storage failures; assign
+// it to Options.RetryIO. See the pager package for field semantics.
+type RetryPolicy = pager.RetryPolicy
+
+// ErrTransientIO classifies retryable storage failures: a PageStore that
+// wants the RetryIO layer to re-attempt an operation must return an error
+// wrapping this sentinel.
+var ErrTransientIO = pager.ErrTransient
+
+// ErrIteratorClosed is returned by Join.Next / SemiJoin.Next after Close.
+var ErrIteratorClosed = distjoin.ErrIteratorClosed
