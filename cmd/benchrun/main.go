@@ -1,0 +1,184 @@
+// Command benchrun records and compares benchmark-trajectory points.
+//
+// Recording runs the canonical workload matrix (Table-1 variants × queue
+// configuration × parallelism, plus the semi-join) at a chosen scale and
+// writes a schema-versioned trajectory file:
+//
+//	benchrun -scale smoke              # writes BENCH_<date>.json
+//	benchrun -scale small -o out.json
+//
+// Comparing diffs two trajectory files and exits nonzero when a
+// hardware-independent work counter (node I/O, distance calculations, max
+// queue size) of a deterministic workload regresses beyond the threshold;
+// wall-clock growth only warns, because wall time is not comparable across
+// machines:
+//
+//	benchrun -compare BENCH_baseline.json BENCH_new.json [-threshold 0.05]
+//
+// -validate checks a file against the schema without comparing. -cpuprofile
+// and -memprofile write pprof profiles of the recording run.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"distjoin/internal/bench"
+	"distjoin/internal/profile"
+)
+
+// benchOptions carries every flag; tests drive run with a literal.
+type benchOptions struct {
+	scale      string
+	out        string
+	compare    bool
+	compareOld string
+	compareNew string
+	validate   string
+	threshold  float64
+	cpuProfile string
+	memProfile string
+}
+
+// errRegression marks a failed compare so main can exit nonzero without
+// printing a redundant error chain.
+var errRegression = errors.New("benchrun: regression detected")
+
+func main() {
+	var o benchOptions
+	flag.StringVar(&o.scale, "scale", "smoke", "workload scale: smoke, small, full")
+	flag.StringVar(&o.out, "o", "", "output file (default BENCH_<date>.json)")
+	flag.BoolVar(&o.compare, "compare", false, "compare two trajectory files (old new); exit nonzero on gated regression")
+	flag.StringVar(&o.validate, "validate", "", "validate this trajectory file against the schema and exit")
+	flag.Float64Var(&o.threshold, "threshold", 0.05, "allowed relative growth of gated counters before a regression is declared")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the recording run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	flag.Parse()
+	if o.compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchrun: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		o.compareOld, o.compareNew = flag.Arg(0), flag.Arg(1)
+	}
+	if err := run(o, os.Stdout); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(o benchOptions, out *os.File) error {
+	if o.compare {
+		return runCompare(o, out)
+	}
+	if o.validate != "" {
+		t, err := profile.ReadFile(o.validate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: valid (schema v%d, %d workloads, scale %q, recorded %s)\n",
+			o.validate, t.SchemaVersion, len(t.Workloads), t.Scale, t.CreatedAt)
+		return nil
+	}
+	return runRecord(o, out)
+}
+
+func runRecord(o benchOptions, out *os.File) error {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(o.memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrun: heap profile:", err)
+			}
+		}()
+	}
+	s, err := bench.ScaleByName(o.scale)
+	if err != nil {
+		return err
+	}
+	path := o.out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+	t, err := bench.Run(s)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded trajectory point: %s (scale %s, %d workloads)\n", path, s.Name, len(t.Workloads))
+	for _, w := range t.Workloads {
+		p := w.Profile
+		det := "det"
+		if !w.Deterministic {
+			det = "nondet"
+		}
+		fmt.Fprintf(out, "  %-22s %-6s wall %8.4fs  coverage %5.1f%%  pairs %7d  node_io %6d  dist_calcs %9d  max_queue %7d\n",
+			w.Name, det, p.WallSeconds, p.Coverage*100,
+			p.Counters.PairsReported, p.Counters.NodeIO, p.Counters.DistCalcs, p.Counters.MaxQueueSize)
+	}
+	return nil
+}
+
+func runCompare(o benchOptions, out *os.File) error {
+	oldT, err := profile.ReadFile(o.compareOld)
+	if err != nil {
+		return err
+	}
+	newT, err := profile.ReadFile(o.compareNew)
+	if err != nil {
+		return err
+	}
+	res := profile.Compare(oldT, newT, profile.CompareOptions{Threshold: o.threshold})
+	for _, n := range res.Notes {
+		fmt.Fprintln(out, "note:", n)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(out, "warning:", w)
+	}
+	for _, r := range res.Regressions {
+		fmt.Fprintln(out, "REGRESSION:", r)
+	}
+	if !res.OK() {
+		fmt.Fprintf(out, "FAIL: %d gated regression(s) between %s and %s\n", len(res.Regressions), o.compareOld, o.compareNew)
+		return errRegression
+	}
+	fmt.Fprintf(out, "OK: no gated regression between %s and %s\n", o.compareOld, o.compareNew)
+	return nil
+}
+
+// writeHeapProfile triggers a GC (so the profile reflects live objects) and
+// writes the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

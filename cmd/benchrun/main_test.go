@@ -1,0 +1,164 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distjoin/internal/profile"
+)
+
+// sampleTrajectory builds a minimal valid trajectory with one deterministic
+// workload whose gated counters the tests perturb.
+func sampleTrajectory(nodeIO int64) *profile.Trajectory {
+	p := profile.Profile{
+		SchemaVersion: profile.SchemaVersion,
+		Label:         "even-hybrid",
+		WallSeconds:   0.5,
+		Phases:        []profile.PhaseStat{{Phase: "expand", Seconds: 0.4, Count: 100}},
+		PhaseSeconds:  0.4,
+		Coverage:      0.8,
+	}
+	p.Counters.PairsReported = 1000
+	p.Counters.NodeIO = nodeIO
+	p.Counters.DistCalcs = 50_000
+	p.Counters.MaxQueueSize = 900
+	return &profile.Trajectory{
+		SchemaVersion: profile.SchemaVersion,
+		CreatedAt:     "2026-08-05T00:00:00Z",
+		Tool:          "benchrun",
+		Scale:         "smoke",
+		Env:           profile.CaptureEnv(),
+		Workloads:     []profile.WorkloadProfile{{Name: "even-hybrid", Deterministic: true, Profile: p}},
+	}
+}
+
+func writeTrajectory(t *testing.T, name string, traj *profile.Trajectory) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := traj.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs fn with a temp file as its output and returns what it wrote.
+func capture(t *testing.T, fn func(out *os.File) error) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := fn(f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestCompareCleanAndRegressed(t *testing.T) {
+	base := writeTrajectory(t, "old.json", sampleTrajectory(1000))
+	same := writeTrajectory(t, "same.json", sampleTrajectory(1000))
+	// 10% node-I/O growth: must trip the 5% default gate.
+	worse := writeTrajectory(t, "worse.json", sampleTrajectory(1100))
+
+	out, err := capture(t, func(f *os.File) error {
+		return run(benchOptions{compare: true, compareOld: base, compareNew: same, threshold: 0.05}, f)
+	})
+	if err != nil {
+		t.Fatalf("clean compare failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "OK:") {
+		t.Errorf("clean compare output:\n%s", out)
+	}
+
+	out, err = capture(t, func(f *os.File) error {
+		return run(benchOptions{compare: true, compareOld: base, compareNew: worse, threshold: 0.05}, f)
+	})
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("regressed compare returned %v, want errRegression\n%s", err, out)
+	}
+	if !strings.Contains(out, "REGRESSION:") || !strings.Contains(out, "node_io") {
+		t.Errorf("regression output:\n%s", out)
+	}
+}
+
+func TestCompareNondeterministicNotGated(t *testing.T) {
+	oldT := sampleTrajectory(1000)
+	newT := sampleTrajectory(5000)
+	oldT.Workloads[0].Deterministic = false
+	newT.Workloads[0].Deterministic = false
+	base := writeTrajectory(t, "old.json", oldT)
+	worse := writeTrajectory(t, "new.json", newT)
+	out, err := capture(t, func(f *os.File) error {
+		return run(benchOptions{compare: true, compareOld: base, compareNew: worse, threshold: 0.05}, f)
+	})
+	if err != nil {
+		t.Fatalf("nondeterministic compare failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "not gated") {
+		t.Errorf("expected a not-gated note:\n%s", out)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := writeTrajectory(t, "good.json", sampleTrajectory(10))
+	out, err := capture(t, func(f *os.File) error {
+		return run(benchOptions{validate: good}, f)
+	})
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !strings.Contains(out, "valid") {
+		t.Errorf("validate output:\n%s", out)
+	}
+
+	bad := sampleTrajectory(10)
+	bad.SchemaVersion = 99
+	badPath := writeTrajectory(t, "bad.json", bad)
+	if _, err := capture(t, func(f *os.File) error {
+		return run(benchOptions{validate: badPath}, f)
+	}); err == nil {
+		t.Error("invalid file accepted")
+	}
+}
+
+// TestRecordSmoke exercises the full record path: run the smoke matrix,
+// write the file, re-read and validate it, then self-compare clean.
+func TestRecordSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, err := capture(t, func(f *os.File) error {
+		return run(benchOptions{scale: "smoke", out: path, cpuProfile: cpu, memProfile: mem}, f)
+	})
+	if err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "recorded trajectory point") {
+		t.Errorf("record output:\n%s", out)
+	}
+	traj, err := profile.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Scale != "smoke" || len(traj.Workloads) < 5 {
+		t.Errorf("trajectory scale %q, %d workloads", traj.Scale, len(traj.Workloads))
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("pprof profile %s missing or empty (%v)", p, err)
+		}
+	}
+	cmp, err := capture(t, func(f *os.File) error {
+		return run(benchOptions{compare: true, compareOld: path, compareNew: path, threshold: 0.05}, f)
+	})
+	if err != nil {
+		t.Fatalf("self-compare: %v\n%s", err, cmp)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"distjoin"
+)
+
+// isMark reports whether the n-th pair is a time-to-kth mark: powers of ten
+// (1, 10, 100, ...), matching the marks cmd/benchrun records.
+func isMark(n int64) bool {
+	for m := int64(1); m <= n; m *= 10 {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// writeHeapProfile triggers a GC (so the profile reflects live objects) and
+// writes the heap profile to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// relErrString renders a signed relative error, mapping the profile's
+// ±MaxFloat64 saturation (JSON stand-in for ±Inf) back to "inf".
+func relErrString(e float64) string {
+	if e >= math.MaxFloat64 {
+		return "+inf"
+	}
+	if e <= -math.MaxFloat64 {
+		return "-inf"
+	}
+	return fmt.Sprintf("%+.1f%%", e*100)
+}
+
+// printProfile renders a query profile as the human EXPLAIN ANALYZE table.
+func printProfile(w io.Writer, p *distjoin.Profile) {
+	fmt.Fprintf(w, "=== EXPLAIN ANALYZE: %s ===\n", p.Label)
+	fmt.Fprintf(w, "wall %.4fs, phase coverage %.1f%%\n", p.WallSeconds, p.Coverage*100)
+	fmt.Fprintf(w, "%-8s %12s %8s %12s\n", "phase", "seconds", "%wall", "count")
+	for _, ph := range p.Phases {
+		pctWall := 0.0
+		if p.WallSeconds > 0 {
+			pctWall = ph.Seconds / p.WallSeconds * 100
+		}
+		fmt.Fprintf(w, "%-8s %12.6f %7.1f%% %12d\n", ph.Phase, ph.Seconds, pctWall, ph.Count)
+	}
+	if p.IO.Reads > 0 || p.IO.Writes > 0 {
+		fmt.Fprintf(w, "physical I/O: %d reads (%.6fs), %d writes (%.6fs) — nested inside the phases\n",
+			p.IO.Reads, p.IO.ReadSeconds, p.IO.Writes, p.IO.WriteSeconds)
+	}
+	c := p.Counters
+	fmt.Fprintf(w, "counters: pairs=%d dist_calcs=%d node_io=%d buffer_hits=%d queue_inserts=%d max_queue=%d\n",
+		c.PairsReported, c.DistCalcs, c.NodeIO, c.BufferHits, c.QueueInserts, c.MaxQueueSize)
+	if p.Delay.InterPair.Count > 0 {
+		d := p.Delay.InterPair
+		fmt.Fprintf(w, "inter-pair delay: p50 %.2gs  p95 %.2gs  p99 %.2gs  (n=%d)\n", d.P50S, d.P95S, d.P99S, d.Count)
+	}
+	if p.Delay.PopToEmit.Count > 0 {
+		d := p.Delay.PopToEmit
+		fmt.Fprintf(w, "pop-to-emit:      p50 %.2gs  p95 %.2gs  p99 %.2gs  (n=%d)\n", d.P50S, d.P95S, d.P99S, d.Count)
+	}
+	for _, t := range p.TimeToKth {
+		fmt.Fprintf(w, "pair %8d after %10.6fs at distance %g\n", t.K, t.Seconds, t.Dist)
+	}
+	if len(p.Explain) > 0 {
+		fmt.Fprintf(w, "%-18s %14s %14s %8s\n", "prediction", "predicted", "actual", "rel err")
+		for _, r := range p.Explain {
+			fmt.Fprintf(w, "%-18s %14.6g %14.6g %8s\n", r.Metric, r.Predicted, r.Actual, relErrString(r.RelErr))
+		}
+	}
+}

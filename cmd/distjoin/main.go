@@ -8,7 +8,8 @@
 //	         [-metric euclidean|manhattan|chessboard] [-reverse] [-parallel n]
 //	         [-queue memory|hybrid] [-queue-dt d] [-retries n] [-retry-backoff 1ms]
 //	         [-stats] [-stats-json] [-trace file] [-metrics-addr :8090]
-//	         [-progress] [-linger 30s]
+//	         [-progress] [-linger 30s] [-explain] [-explain-json]
+//	         [-cpuprofile f] [-memprofile f]
 //
 // Pairs stream out closest-first as they are found — pipe through `head`
 // to see the incremental behaviour: the first pairs appear long before a
@@ -22,6 +23,13 @@
 // stdout after the pair stream. -linger keeps the metrics endpoint up for
 // the given duration after the join completes, so short runs can still be
 // scraped.
+//
+// Profiling: -explain prints an EXPLAIN ANALYZE table on stderr when the
+// run finishes — wall time attributed to engine phases, delay percentiles,
+// and the cost model's predictions next to the observed actuals with
+// relative error; -explain-json prints the same profile as one JSON
+// document on stdout after the pair stream. -cpuprofile and -memprofile
+// write pprof profiles on clean shutdown.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -57,6 +66,10 @@ type cliOptions struct {
 	metricsAddr  string
 	progress     bool
 	linger       time.Duration
+	explain      bool
+	explainJSON  bool
+	cpuProfile   string
+	memProfile   string
 }
 
 func main() {
@@ -81,6 +94,10 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.BoolVar(&o.progress, "progress", false, "show a live frontier/ETA line on stderr")
 	flag.DurationVar(&o.linger, "linger", 0, "keep the metrics endpoint up this long after the join completes")
+	flag.BoolVar(&o.explain, "explain", false, "print an EXPLAIN ANALYZE table (phases, delays, predicted vs actual) on stderr when done")
+	flag.BoolVar(&o.explainJSON, "explain-json", false, "print the query profile as JSON on stdout after the pairs")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -108,6 +125,27 @@ func run(o cliOptions) error {
 	}
 	if o.fileA == "" || o.fileB == "" {
 		return fmt.Errorf("both -a and -b are required")
+	}
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(o.memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "distjoin: heap profile:", err)
+			}
+		}()
 	}
 	metric := distjoin.Metric(nil)
 	switch o.metricName {
@@ -185,6 +223,15 @@ func run(o cliOptions) error {
 		opts.RetryIO = distjoin.RetryPolicy{MaxAttempts: o.retries, Backoff: o.retryBackoff}
 	}
 
+	var pf *distjoin.Profiler
+	if o.explain || o.explainJSON {
+		pf = distjoin.NewProfiler()
+		pf.Attach(&opts)
+		pf.AttachIndex(a)
+		pf.AttachIndex(b)
+		pf.Start()
+	}
+
 	if o.progress {
 		stop := startProgress(a, b, o, rec)
 		defer stop()
@@ -197,6 +244,8 @@ func run(o cliOptions) error {
 		return err
 	}
 	defer closeFn()
+	var nPairs int64
+	var lastDist float64
 	for {
 		p, ok, err := next()
 		if err != nil {
@@ -205,12 +254,46 @@ func run(o cliOptions) error {
 		if !ok {
 			break
 		}
+		nPairs++
+		lastDist = p.Dist
+		if pf != nil && (isMark(nPairs) || (o.k > 0 && nPairs == int64(o.k))) {
+			pf.MarkKth(nPairs, p.Dist)
+		}
 		if _, err := fmt.Fprintf(out, "%d %d %g\n", p.Obj1, p.Obj2, p.Dist); err != nil {
 			return err
 		}
 	}
+	// Close the iterator before finishing the profile so the parallel
+	// workers' span shards have been merged.
+	if err := closeFn(); err != nil {
+		return err
+	}
 	if err := rec.Close(); err != nil {
 		return fmt.Errorf("flushing trace: %w", err)
+	}
+	if pf != nil {
+		rows, err := distjoin.BuildExplain(a, b, distjoin.ExplainConfig{
+			K:           o.k,
+			KthDist:     lastDist,
+			MaxDist:     o.maxD,
+			PairsWithin: nPairs,
+		})
+		if err != nil {
+			return err
+		}
+		pf.SetExplain(rows)
+		prof := pf.Finish("distjoin")
+		if o.explainJSON {
+			enc, err := json.Marshal(prof)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", enc)
+		}
+		if o.explain {
+			out.Flush()
+			printProfile(os.Stderr, prof)
+		}
 	}
 	if o.statsJSON {
 		enc, err := json.Marshal(c.Snapshot())

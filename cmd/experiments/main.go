@@ -10,9 +10,11 @@
 // uses the paper's dataset cardinalities (37,495 × 200,482 points).
 //
 // -exp trace derives a time-to-k-th-pair table from an event trace of the
-// Table-1 workload (the incrementality claim, measured); -trace saves that
-// raw JSONL trace, and -metrics-addr serves live Prometheus metrics for
-// every experiment run.
+// Table-1 workload (the incrementality claim, measured); with -json it is
+// emitted in the query-profile schema (internal/profile), so the output can
+// feed the trajectory files cmd/benchrun records. -trace saves the raw
+// JSONL trace, and -metrics-addr serves live Prometheus metrics for every
+// experiment run.
 package main
 
 import (
@@ -125,7 +127,15 @@ func run(scaleName, expName string, latency time.Duration, asJSON bool, tracePat
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		if asJSON {
-			if err := experiments.WriteJSON(os.Stdout, e.id, runs); err != nil {
+			// The trace experiment shares the query-profile schema (see
+			// internal/profile) so its output can feed trajectory files.
+			var err error
+			if e.id == "trace" {
+				err = experiments.WriteTTKJSON(os.Stdout, runs)
+			} else {
+				err = experiments.WriteJSON(os.Stdout, e.id, runs)
+			}
+			if err != nil {
 				return err
 			}
 		} else {

@@ -1,0 +1,242 @@
+package distjoin_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distjoin"
+	"distjoin/internal/datagen"
+)
+
+// The sampling estimators document (internal/costmodel) that accuracy grows
+// roughly with the square root of the sample size; at Sample=400 the
+// internal tests pin uniform-data estimates within a factor of 2 of truth.
+// These property tests re-assert that contract through the public API over
+// several seeded workloads, and additionally check the skewed TIGER-like
+// generators against a looser factor-3 bound (skew concentrates mass the
+// uniform density model dilutes).
+const (
+	uniformFactor = 2.0
+	skewedFactor  = 3.0
+)
+
+// workload is one seeded synthetic input pair plus its accuracy bound.
+type accWorkload struct {
+	name   string
+	a, b   []distjoin.Point
+	factor float64
+}
+
+func uniformWorkload(seed int64, n int) accWorkload {
+	gen := func(s int64) []distjoin.Point {
+		rnd := rand.New(rand.NewSource(s))
+		pts := make([]distjoin.Point, n)
+		for i := range pts {
+			pts[i] = distjoin.Pt(rnd.Float64()*1000, rnd.Float64()*1000)
+		}
+		return pts
+	}
+	return accWorkload{
+		name:   "uniform",
+		a:      gen(seed),
+		b:      gen(seed + 1),
+		factor: uniformFactor,
+	}
+}
+
+func tigerWorkload(seed int64, n int) accWorkload {
+	return accWorkload{
+		name:   "tiger",
+		a:      datagen.Water(seed, n),
+		b:      datagen.Roads(seed+1, 2*n),
+		factor: skewedFactor,
+	}
+}
+
+// allPairDistances brute-forces the sorted pair-distance list — the ground
+// truth both estimators are judged against.
+func allPairDistances(a, b []distjoin.Point) []float64 {
+	ds := make([]float64, 0, len(a)*len(b))
+	for _, p := range a {
+		for _, q := range b {
+			ds = append(ds, distjoin.Euclidean.Dist(p, q))
+		}
+	}
+	sort.Float64s(ds)
+	return ds
+}
+
+func withinFactor(est, truth, factor float64) bool {
+	return est >= truth/factor && est <= truth*factor
+}
+
+func TestEstimatorAccuracyProperty(t *testing.T) {
+	workloads := []accWorkload{
+		uniformWorkload(101, 600),
+		uniformWorkload(202, 600),
+		uniformWorkload(303, 800),
+		tigerWorkload(404, 500),
+		tigerWorkload(505, 700),
+	}
+	cost := distjoin.CostOptions{Sample: 400, Seed: 99}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			ia, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, w.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ia.Close()
+			ib, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, w.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ib.Close()
+			ds := allPairDistances(w.a, w.b)
+
+			// EstimatePairsWithin at the 0.1%, 1% and 10% truth quantiles:
+			// each must land within the workload's documented factor.
+			for _, frac := range []float64{0.001, 0.01, 0.1} {
+				idx := int(frac * float64(len(ds)))
+				d := ds[idx]
+				truth := float64(sort.SearchFloat64s(ds, math.Nextafter(d, math.Inf(1))))
+				est, err := distjoin.EstimatePairsWithin(ia, ib, d, cost)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !withinFactor(est, truth, w.factor) {
+					t.Errorf("pairs within %.3g: estimate %.0f vs truth %.0f (want within %.1fx)",
+						d, est, truth, w.factor)
+				}
+			}
+
+			// EstimateDistanceForK across three orders of magnitude of k.
+			for _, k := range []int{100, 1_000, 10_000} {
+				if k > len(ds) {
+					continue
+				}
+				truth := ds[k-1]
+				est, err := distjoin.EstimateDistanceForK(ia, ib, k, cost)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !withinFactor(est, truth, w.factor) {
+					t.Errorf("distance for k=%d: estimate %.4g vs truth %.4g (want within %.1fx)",
+						k, est, truth, w.factor)
+				}
+			}
+		})
+	}
+}
+
+// TestProfileExplainAgreesWithStats runs a real join under a Profiler and
+// checks the finished Profile against the run's own Stats counters: the
+// profile's counter mirror must match the snapshot exactly, and the
+// EXPLAIN actual columns must be the observed values the counters report.
+func TestProfileExplainAgreesWithStats(t *testing.T) {
+	w := tigerWorkload(606, 400)
+	ia, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, w.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ia.Close()
+	ib, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, w.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ib.Close()
+
+	const maxDist = 40.0
+	pf := distjoin.NewProfiler()
+	opts := distjoin.Options{MaxDist: maxDist}
+	pf.Attach(&opts)
+	pf.AttachIndex(ia)
+	pf.AttachIndex(ib)
+	pf.Start()
+	j, err := distjoin.DistanceJoin(ia, ib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nPairs int64
+	var lastDist float64
+	for {
+		p, ok, err := j.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		nPairs++
+		lastDist = p.Dist
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if nPairs == 0 {
+		t.Fatal("no pairs within maxDist; widen the bound")
+	}
+	rows, err := distjoin.BuildExplain(ia, ib, distjoin.ExplainConfig{
+		K:           int(nPairs),
+		KthDist:     lastDist,
+		MaxDist:     maxDist,
+		PairsWithin: nPairs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.SetExplain(rows)
+	prof := pf.Finish("agreement")
+
+	snap := pf.Stats.Snapshot()
+	c := prof.Counters
+	if c.PairsReported != snap.PairsReported || c.PairsReported != nPairs {
+		t.Errorf("pairs: profile %d, stats %d, drained %d", c.PairsReported, snap.PairsReported, nPairs)
+	}
+	if c.DistCalcs != snap.DistCalcs {
+		t.Errorf("dist calcs: profile %d, stats %d", c.DistCalcs, snap.DistCalcs)
+	}
+	if c.NodeIO != snap.NodeReads+snap.NodeWrites {
+		t.Errorf("node io: profile %d, stats %d+%d", c.NodeIO, snap.NodeReads, snap.NodeWrites)
+	}
+	if c.QueueInserts != snap.QueueInserts || c.QueuePops != snap.QueuePops {
+		t.Errorf("queue ops: profile %d/%d, stats %d/%d", c.QueueInserts, c.QueuePops, snap.QueueInserts, snap.QueuePops)
+	}
+	if c.MaxQueueSize != snap.MaxQueueSize {
+		t.Errorf("max queue: profile %d, stats %d", c.MaxQueueSize, snap.MaxQueueSize)
+	}
+
+	byMetric := map[string]distjoin.ExplainRow{}
+	for _, r := range prof.Explain {
+		byMetric[r.Metric] = r
+	}
+	pw, ok := byMetric["pairs_within_d"]
+	if !ok {
+		t.Fatal("no pairs_within_d row")
+	}
+	if pw.Actual != float64(c.PairsReported) {
+		t.Errorf("pairs_within_d actual %g, counters reported %d", pw.Actual, c.PairsReported)
+	}
+	dk, ok := byMetric["distance_for_k"]
+	if !ok {
+		t.Fatal("no distance_for_k row")
+	}
+	if dk.Actual != lastDist {
+		t.Errorf("distance_for_k actual %g, observed k-th distance %g", dk.Actual, lastDist)
+	}
+	for _, r := range prof.Explain {
+		if r.Actual == 0 {
+			continue
+		}
+		want := (r.Predicted - r.Actual) / r.Actual
+		if math.Abs(r.RelErr-want) > 1e-12 {
+			t.Errorf("%s: rel_err %g, want %g", r.Metric, r.RelErr, want)
+		}
+	}
+	// The estimators feeding the EXPLAIN rows obey the same documented
+	// bound the property test asserts.
+	if !withinFactor(pw.Predicted, pw.Actual, skewedFactor) {
+		t.Errorf("pairs_within_d prediction %g vs actual %g outside %.1fx", pw.Predicted, pw.Actual, skewedFactor)
+	}
+}

@@ -1,0 +1,265 @@
+// Package bench runs the canonical benchmark workload matrix and records
+// the result as a benchmark-trajectory point (see internal/profile): one
+// query profile per workload, plus the environment fingerprint, in the
+// schema-versioned BENCH_<date>.json format that cmd/benchrun writes and
+// compares.
+//
+// The matrix deliberately exercises the public API end to end — the same
+// Profiler a library user would attach — so a trajectory point also proves
+// the instrumentation itself: Run fails when a sequential workload's phase
+// attribution explains less than MinCoverage of its wall time.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"distjoin"
+	"distjoin/internal/datagen"
+	"distjoin/internal/profile"
+)
+
+// MinCoverage is the minimum fraction of a sequential workload's wall time
+// the span accounting must explain. Falling below it means time is leaking
+// out of the instrumented phases — an instrumentation bug, not a slow run.
+const MinCoverage = 0.9
+
+// Scale sizes a benchmark run. Smoke is the CI gate; Small mirrors the
+// experiments package's default; Full uses the paper's cardinalities.
+type Scale struct {
+	Name   string
+	WaterN int
+	RoadsN int
+	// Pairs is the result-pair target of the join workloads (the semi-join
+	// workloads are additionally capped by the outer cardinality).
+	Pairs int
+	// HybridDT is the hybrid queue's tier threshold in world units.
+	HybridDT float64
+	// Seed makes data generation deterministic.
+	Seed int64
+}
+
+// Smoke is small enough for a CI job yet large enough that per-run setup
+// noise stays well under the MinCoverage slack.
+var Smoke = Scale{Name: "smoke", WaterN: 800, RoadsN: 1_600, Pairs: 400, HybridDT: 120, Seed: 1998}
+
+// Small matches the experiments package's default scale.
+var Small = Scale{Name: "small", WaterN: 4_000, RoadsN: 20_000, Pairs: 10_000, HybridDT: 120, Seed: 1998}
+
+// Full uses the paper's dataset cardinalities.
+var Full = Scale{Name: "full", WaterN: datagen.PaperWaterSize, RoadsN: datagen.PaperRoadsSize, Pairs: 100_000, HybridDT: 40, Seed: 1998}
+
+// ScaleByName returns the named scale.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "smoke", "":
+		return Smoke, nil
+	case "small":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (want smoke, small or full)", name)
+}
+
+// Workload is one cell of the canonical matrix.
+type Workload struct {
+	// Name is the stable identity Compare matches on; renaming a workload
+	// silently drops its regression gate, so don't.
+	Name string
+	// Deterministic marks workloads whose work counters reproduce
+	// run-to-run. Parallel runs with a result bound cancel workers
+	// mid-flight and so do a nondeterministic amount of speculative work.
+	Deterministic bool
+	// Semi selects the distance semi-join (FilterLocal) instead of the
+	// distance join.
+	Semi bool
+	// Pairs bounds the drain loop.
+	Pairs int
+	// Explain attaches cost-model predicted-vs-actual rows to the profile.
+	Explain bool
+	// Opts is the join configuration (counters/obs/profile are overwritten
+	// by the harness's Profiler).
+	Opts distjoin.Options
+}
+
+// Matrix returns the canonical workload matrix for a scale: the Table-1
+// default (Even traversal, hybrid queue), its memory-queue and
+// Basic-traversal ablations, a parallel leg, and the semi-join.
+func Matrix(s Scale) []Workload {
+	hybrid := distjoin.Options{
+		Queue:          distjoin.QueueHybrid,
+		HybridDT:       s.HybridDT,
+		HybridInMemory: true,
+	}
+	semiPairs := s.Pairs
+	if s.WaterN < semiPairs {
+		semiPairs = s.WaterN
+	}
+	return []Workload{
+		{Name: "table1-even-hybrid", Deterministic: true, Pairs: s.Pairs, Explain: true, Opts: hybrid},
+		{Name: "table1-even-memory", Deterministic: true, Pairs: s.Pairs,
+			Opts: distjoin.Options{Queue: distjoin.QueueMemory}},
+		{Name: "table1-basic-hybrid", Deterministic: true, Pairs: s.Pairs, Opts: func() distjoin.Options {
+			o := hybrid
+			o.Traversal = distjoin.TraverseBasic
+			return o
+		}()},
+		{Name: "parallel-2-memory", Deterministic: false, Pairs: s.Pairs,
+			Opts: distjoin.Options{Parallelism: 2, MaxPairs: s.Pairs}},
+		{Name: "semi-local-hybrid", Deterministic: true, Semi: true, Pairs: semiPairs, Opts: hybrid},
+	}
+}
+
+// Datasets is the indexed Water/Roads pair every workload joins.
+type Datasets struct {
+	Scale Scale
+	Water *distjoin.Index
+	Roads *distjoin.Index
+}
+
+// Load generates and bulk-loads the datasets at the given scale.
+func Load(s Scale) (*Datasets, error) {
+	water, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, datagen.Water(s.Seed, s.WaterN))
+	if err != nil {
+		return nil, fmt.Errorf("bench: building Water: %w", err)
+	}
+	roads, err := distjoin.BulkIndexPoints(distjoin.IndexConfig{}, datagen.Roads(s.Seed+1, s.RoadsN))
+	if err != nil {
+		water.Close()
+		return nil, fmt.Errorf("bench: building Roads: %w", err)
+	}
+	return &Datasets{Scale: s, Water: water, Roads: roads}, nil
+}
+
+// Close releases both indexes.
+func (d *Datasets) Close() {
+	d.Water.Close()
+	d.Roads.Close()
+}
+
+// RunWorkload executes one workload and returns its profile. Buffer caches
+// are dropped first so node I/O is cold-cache comparable across runs and
+// across trajectory points regardless of matrix order.
+func (d *Datasets) RunWorkload(w Workload) (*distjoin.Profile, error) {
+	if err := d.Water.Tree().DropCache(); err != nil {
+		return nil, err
+	}
+	if err := d.Roads.Tree().DropCache(); err != nil {
+		return nil, err
+	}
+	pf := distjoin.NewProfiler()
+	opts := w.Opts
+	opts.Counters = nil
+	opts.Obs = nil
+	pf.Attach(&opts)
+	pf.AttachIndex(d.Water)
+	pf.AttachIndex(d.Roads)
+
+	// The profiled window is exactly iterator open -> drain -> close;
+	// anything else (cache drops above, explain sampling below) would
+	// dilute phase coverage with time the spans cannot see.
+	pf.Start()
+	next, closeFn, err := d.open(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	var reported int64
+	var lastDist float64
+	for reported < int64(w.Pairs) {
+		p, ok, err := next()
+		if err != nil {
+			closeFn()
+			return nil, fmt.Errorf("bench: workload %q: %w", w.Name, err)
+		}
+		if !ok {
+			break
+		}
+		reported++
+		lastDist = p.Dist
+		if isMark(reported) || reported == int64(w.Pairs) {
+			pf.MarkKth(reported, p.Dist)
+		}
+	}
+	if err := closeFn(); err != nil {
+		return nil, fmt.Errorf("bench: workload %q: close: %w", w.Name, err)
+	}
+	prof := pf.Finish(w.Name)
+	if reported == 0 {
+		return nil, fmt.Errorf("bench: workload %q reported no pairs", w.Name)
+	}
+	if w.Deterministic && prof.Coverage < MinCoverage {
+		return nil, fmt.Errorf("bench: workload %q: phase attribution covers only %.1f%% of wall time (want >= %.0f%%) — instrumentation leak",
+			w.Name, prof.Coverage*100, MinCoverage*100)
+	}
+	if w.Explain {
+		rows, err := distjoin.BuildExplain(d.Water, d.Roads, distjoin.ExplainConfig{
+			K:       w.Pairs,
+			KthDist: lastDist,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: workload %q: explain: %w", w.Name, err)
+		}
+		prof.Explain = rows
+	}
+	return prof, nil
+}
+
+// open starts the workload's iterator.
+func (d *Datasets) open(w Workload, opts distjoin.Options) (func() (distjoin.Pair, bool, error), func() error, error) {
+	if w.Semi {
+		s, err := distjoin.DistanceSemiJoin(d.Water, d.Roads, distjoin.FilterLocal, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s.Next, s.Close, nil
+	}
+	j, err := distjoin.DistanceJoin(d.Water, d.Roads, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j.Next, j.Close, nil
+}
+
+// isMark reports whether the n-th pair is a time-to-kth mark (powers of
+// ten).
+func isMark(n int64) bool {
+	for m := int64(1); m <= n; m *= 10 {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the full matrix at a scale and assembles the trajectory
+// point. The result is schema-validated before being returned.
+func Run(s Scale) (*profile.Trajectory, error) {
+	d, err := Load(s)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	t := &profile.Trajectory{
+		SchemaVersion: profile.SchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Tool:          "benchrun",
+		Scale:         s.Name,
+		Env:           profile.CaptureEnv(),
+	}
+	for _, w := range Matrix(s) {
+		prof, err := d.RunWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		t.Workloads = append(t.Workloads, profile.WorkloadProfile{
+			Name:          w.Name,
+			Deterministic: w.Deterministic,
+			Profile:       *prof,
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: self-check: %w", err)
+	}
+	return t, nil
+}

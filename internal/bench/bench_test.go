@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"distjoin/internal/profile"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"", "smoke", "small", "full"} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	ws := Matrix(Smoke)
+	if len(ws) < 5 {
+		t.Fatalf("matrix has %d workloads, want >= 5", len(ws))
+	}
+	seen := map[string]bool{}
+	var det, nondet, semi int
+	for _, w := range ws {
+		if w.Name == "" || w.Pairs <= 0 {
+			t.Errorf("bad workload %+v", w)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Deterministic {
+			det++
+		} else {
+			nondet++
+		}
+		if w.Semi {
+			semi++
+		}
+	}
+	if det == 0 || nondet == 0 || semi == 0 {
+		t.Errorf("matrix lacks variety: det=%d nondet=%d semi=%d", det, nondet, semi)
+	}
+}
+
+// TestRunSmoke is the end-to-end acceptance check: the smoke matrix runs,
+// validates against the schema, covers >= MinCoverage of wall per
+// sequential workload, round-trips through a file, and self-compares
+// clean, while an injected node-I/O regression trips the gate.
+func TestRunSmoke(t *testing.T) {
+	traj, err := Run(Smoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Scale != "smoke" || traj.Tool != "benchrun" {
+		t.Errorf("trajectory header %q/%q", traj.Tool, traj.Scale)
+	}
+	for _, w := range traj.Workloads {
+		p := w.Profile
+		if w.Deterministic && p.Coverage < MinCoverage {
+			t.Errorf("workload %q: coverage %.2f < %.2f", w.Name, p.Coverage, MinCoverage)
+		}
+		if len(p.TimeToKth) == 0 {
+			t.Errorf("workload %q: no time-to-kth marks", w.Name)
+		}
+		if p.Delay.InterPair.Count == 0 {
+			t.Errorf("workload %q: no inter-pair delay observations", w.Name)
+		}
+		if w.Name == "table1-even-hybrid" && len(p.Explain) == 0 {
+			t.Error("table1-even-hybrid: no explain rows")
+		}
+		if w.Name == "table1-even-hybrid" && p.Counters.QueueDiskPairs == 0 {
+			t.Error("table1-even-hybrid: hybrid queue never spilled; lower Smoke.HybridDT")
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := traj.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workloads) != len(traj.Workloads) {
+		t.Fatalf("round trip lost workloads: %d != %d", len(back.Workloads), len(traj.Workloads))
+	}
+
+	if res := profile.Compare(traj, back, profile.CompareOptions{}); !res.OK() {
+		t.Errorf("self-compare regressed: %v", res.Regressions)
+	}
+
+	// Inject a >= 10% node-I/O regression into the first deterministic
+	// workload; the gate must trip.
+	for i := range back.Workloads {
+		if !back.Workloads[i].Deterministic {
+			continue
+		}
+		c := &back.Workloads[i].Profile.Counters
+		c.NodeIO = c.NodeIO + c.NodeIO/10 + 3
+		break
+	}
+	if res := profile.Compare(traj, back, profile.CompareOptions{}); res.OK() {
+		t.Error("injected node-I/O regression not detected")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/pqueue"
+	"distjoin/internal/profile"
 	"distjoin/internal/rtree"
 )
 
@@ -81,6 +82,15 @@ type engine struct {
 	obs  *obs.Recorder
 	part int32
 
+	// sp receives span accounting for query profiles; nil disables all
+	// profiling clock reads. Phases are kept disjoint by delta subtraction:
+	// each outer bracket (pop, insert, expand, next) subtracts the time its
+	// nested phases recorded during the bracket. That subtraction reads the
+	// Spans twice around the bracketed call, which is only sound when this
+	// engine is the sole writer — so every engine gets its own Spans, and
+	// the parallel path merges worker shards like stats shards.
+	sp *profile.Spans
+
 	reported  int
 	skip      int  // results to silently re-skip after a restart
 	restarted bool // the §2.2.4 restart has been used
@@ -114,6 +124,7 @@ func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [
 		seedPairs: seeds,
 		obs:       opts.Obs,
 		part:      part,
+		sp:        opts.Profile,
 	}
 	if opts.MaxPairs > 0 {
 		if opts.Reverse {
@@ -171,6 +182,7 @@ func (e *engine) makeQueue() error {
 			Counters: e.opts.Counters,
 			Obs:      e.obs,
 			Part:     e.part,
+			Spans:    e.sp,
 		}
 		cfg.PageSize = e.opts.queuePageSize()
 		store, err := e.queueStore(cfg.PageSize)
@@ -403,7 +415,7 @@ func (e *engine) enqueue(i1, i2 item) error {
 			e.dmaxCur = e.est.observe(p, dmax, e.dmin, e.dmaxCur, count)
 		}
 	}
-	return e.q.Insert(p)
+	return e.insert(p)
 }
 
 // admit applies the per-input selection criteria of §2.2.5: a window test
@@ -446,7 +458,7 @@ func (e *engine) enqueueIntersection(i1, i2 item) error {
 		return nil
 	}
 	key := e.opts.Metric.MinDistPR(e.opts.OrderIntersectionsFrom, x)
-	return e.q.Insert(qpair{key: key, i1: i1, i2: i2})
+	return e.insert(qpair{key: key, i1: i1, i2: i2})
 }
 
 // semiGlobalAdmit applies the GlobalNodes/GlobalAll pruning (§4.2.1): a
@@ -479,18 +491,58 @@ func (e *engine) semiGlobalAdmit(i1 item, d, dmax float64) bool {
 
 // next drives the algorithm until the next reportable object pair. With a
 // recorder attached it brackets the work with the pop-to-emit timing and
-// records the emission; a nil recorder takes the direct path, with no clock
+// records the emission; with a Spans attached the bracket's residue — the
+// time not claimed by a nested expand/push/pop/spill/fetch span — is
+// attributed to PhaseEmit. With neither, the direct path takes no clock
 // reads at all.
 func (e *engine) next() (Pair, bool, error) {
-	if e.obs == nil {
+	if e.obs == nil && e.sp == nil {
 		return e.step()
 	}
+	inner0 := e.sp.InnerNS()
 	start := time.Now()
 	p, ok, err := e.step()
-	if ok {
+	if e.sp != nil {
+		d := time.Since(start) - time.Duration(e.sp.InnerNS()-inner0)
+		e.sp.Add(profile.PhaseEmit, d)
+	}
+	if e.obs != nil && ok {
 		e.obs.Emit(e.part, p.Dist, e.q.Len(), start)
 	}
 	return p, ok, err
+}
+
+// pop dequeues through the PhasePop bracket: the bracket's elapsed time
+// minus whatever the queue's disk-tier fetch recorded during it. Only
+// successful pops record a span, keeping the span count equal to the
+// QueuePops counter; an exhausted queue's final empty pop falls into the
+// PhaseEmit residue instead.
+func (e *engine) pop() (qpair, bool, error) {
+	if e.sp == nil {
+		return e.q.Pop()
+	}
+	fetch0 := e.sp.NS(profile.PhaseFetch)
+	start := time.Now()
+	p, ok, err := e.q.Pop()
+	if ok {
+		d := time.Since(start) - time.Duration(e.sp.NS(profile.PhaseFetch)-fetch0)
+		e.sp.Add(profile.PhasePop, d)
+	}
+	return p, ok, err
+}
+
+// insert enqueues through the PhasePush bracket: the bracket's elapsed time
+// minus whatever the queue's disk-tier spill recorded during it.
+func (e *engine) insert(p qpair) error {
+	if e.sp == nil {
+		return e.q.Insert(p)
+	}
+	spill0 := e.sp.NS(profile.PhaseSpill)
+	start := time.Now()
+	err := e.q.Insert(p)
+	d := time.Since(start) - time.Duration(e.sp.NS(profile.PhaseSpill)-spill0)
+	e.sp.Add(profile.PhasePush, d)
+	return err
 }
 
 // step is the uninstrumented engine loop behind next.
@@ -503,7 +555,7 @@ func (e *engine) step() (Pair, bool, error) {
 		return Pair{}, false, nil
 	}
 	for {
-		p, ok, err := e.q.Pop()
+		p, ok, err := e.pop()
 		if err != nil {
 			return Pair{}, false, err
 		}
@@ -674,15 +726,29 @@ func (e *engine) resolveOBR(p *qpair) (reportable, exact bool, err error) {
 	if better {
 		return true, true, nil
 	}
-	if err := e.q.Insert(*p); err != nil {
+	if err := e.insert(*p); err != nil {
 		return false, false, err
 	}
 	return false, true, nil
 }
 
-// expand processes a pair with at least one node according to the traversal
-// policy.
+// expand processes a pair with at least one node, clocking the work as
+// PhaseExpand when profiling is on: the bracket's elapsed time minus the
+// queue-write time (push + spill) its enqueues recorded during it.
 func (e *engine) expand(p qpair) error {
+	if e.sp == nil {
+		return e.expandPair(p)
+	}
+	qw0 := e.sp.QueueWriteNS()
+	start := time.Now()
+	err := e.expandPair(p)
+	d := time.Since(start) - time.Duration(e.sp.QueueWriteNS()-qw0)
+	e.sp.Add(profile.PhaseExpand, d)
+	return err
+}
+
+// expandPair dispatches the expansion according to the traversal policy.
+func (e *engine) expandPair(p qpair) error {
 	e.obs.Expand(e.part, p.key)
 	switch {
 	case p.i1.isNode() && p.i2.isNode():

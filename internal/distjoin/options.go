@@ -8,6 +8,7 @@ import (
 	"distjoin/internal/geom"
 	"distjoin/internal/obs"
 	"distjoin/internal/pager"
+	"distjoin/internal/profile"
 	"distjoin/internal/rtree"
 	"distjoin/internal/stats"
 )
@@ -172,6 +173,15 @@ type Options struct {
 	// engine's per-pair path then performs no clock reads and no
 	// allocations. May be nil.
 	Obs *obs.Recorder
+	// Profile receives span accounting for per-join query profiles: wall
+	// time attributed to the engine phases (expand, queue push/pop,
+	// disk-tier spill/fetch, merge, emit) plus the disk tier's physical I/O
+	// time. A nil Spans disables all profiling — no clock reads, no
+	// allocations on the per-pair path. On the parallel path each worker
+	// records into its own shard, merged into this Spans as workers finish
+	// (like Counters), so per-phase times are CPU time summed across
+	// workers and may exceed wall time.
+	Profile *profile.Spans
 	// Parallelism selects the parallel execution path: the top of the two
 	// trees is partitioned into disjoint slices of the pair space, one
 	// incremental engine runs per partition on its own goroutine, and the

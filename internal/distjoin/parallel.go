@@ -6,8 +6,10 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distjoin/internal/obs"
+	"distjoin/internal/profile"
 	"distjoin/internal/stats"
 )
 
@@ -177,9 +179,10 @@ type parResult struct {
 
 // parWorker runs one partition engine on its own goroutine.
 type parWorker struct {
-	eng   *engine
-	out   chan parResult
-	shard *stats.Counters // per-worker counter shard; nil when disabled
+	eng     *engine
+	out     chan parResult
+	shard   *stats.Counters // per-worker counter shard; nil when disabled
+	spShard *profile.Spans  // per-worker span shard; nil when disabled
 }
 
 // parHead is one stream head tracked by the merge heap.
@@ -197,6 +200,7 @@ type parallelJoin struct {
 	maxDist  float64
 	user     *stats.Counters // caller's counters, merge target for shards
 	obs      *obs.Recorder   // observability; nil when disabled
+	sp       *profile.Spans  // caller's spans, merge target + PhaseMerge sink
 
 	done     chan struct{} // closed to cancel workers
 	stop     sync.Once
@@ -231,6 +235,7 @@ func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*
 		maxDist:  opts.MaxDist,
 		user:     opts.Counters,
 		obs:      opts.Obs,
+		sp:       opts.Profile,
 		done:     make(chan struct{}),
 	}
 	r.obs.SetPartitions(len(parts))
@@ -240,6 +245,12 @@ func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*
 		if opts.Counters != nil {
 			w.shard = &stats.Counters{}
 			wopts.Counters = w.shard
+		}
+		// The engine's delta-subtraction span accounting requires a
+		// single-writer Spans, so each worker records into its own shard.
+		if opts.Profile != nil {
+			w.spShard = &profile.Spans{}
+			wopts.Profile = w.spShard
 		}
 		var wsemi *semiState
 		if semiProto != nil {
@@ -275,6 +286,9 @@ func (r *parallelJoin) run(w *parWorker) {
 		}
 		if w.shard != nil {
 			r.user.Merge(w.shard)
+		}
+		if w.spShard != nil {
+			r.sp.Merge(w.spShard)
 		}
 	}()
 	defer close(w.out)
@@ -387,10 +401,25 @@ func (r *parallelJoin) pull(src int) error {
 	return nil
 }
 
-// next implements the order-preserving merge. A worker error cancels the
+// next wraps the merge in the PhaseMerge bracket when profiling is on. The
+// bracket includes the time the merge blocks waiting for partition workers
+// to produce — the coordination overhead of the parallel path — recorded
+// directly on the caller's Spans (a simple Add, safe alongside the workers'
+// concurrent shard merges).
+func (r *parallelJoin) next() (Pair, bool, error) {
+	if r.sp == nil {
+		return r.merge()
+	}
+	start := time.Now()
+	p, ok, err := r.merge()
+	r.sp.Add(profile.PhaseMerge, time.Since(start))
+	return p, ok, err
+}
+
+// merge implements the order-preserving merge. A worker error cancels the
 // sibling partitions, is latched, and is returned from this and every
 // later call — an errored merge never reports a clean exhaustion.
-func (r *parallelJoin) next() (Pair, bool, error) {
+func (r *parallelJoin) merge() (Pair, bool, error) {
 	if r.failErr != nil {
 		return Pair{}, false, r.failErr
 	}

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"distjoin/internal/obs"
+	"distjoin/internal/profile"
 )
 
 // TraceTTK runs the Table-1 workload once with event tracing enabled and
@@ -71,4 +73,40 @@ func TraceTTKTo(d *Datasets, extra io.Writer) ([]Run, error) {
 			target, run.Reported)
 	}
 	return out, nil
+}
+
+// TTKDocument is the JSON shape of the trace experiment: the time-to-kth
+// points in the query-profile schema (profile.TTKPoint), so experiment
+// output can be spliced into the same trajectory files cmd/benchrun
+// records.
+type TTKDocument struct {
+	SchemaVersion int                `json:"schema_version"`
+	Label         string             `json:"label"`
+	TimeToKth     []profile.TTKPoint `json:"time_to_kth"`
+}
+
+// TTKPoints converts trace-experiment rows to profile-schema points.
+func TTKPoints(runs []Run) []profile.TTKPoint {
+	pts := make([]profile.TTKPoint, len(runs))
+	for i, r := range runs {
+		pts[i] = profile.TTKPoint{
+			K:       int64(r.Reported),
+			Seconds: r.Time.Seconds(),
+			Dist:    r.LastDist,
+		}
+	}
+	return pts
+}
+
+// WriteTTKJSON emits the trace experiment's time-to-kth table as a
+// profile-schema JSON document.
+func WriteTTKJSON(w io.Writer, runs []Run) error {
+	doc := TTKDocument{
+		SchemaVersion: profile.SchemaVersion,
+		Label:         "trace",
+		TimeToKth:     TTKPoints(runs),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

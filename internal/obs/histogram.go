@@ -89,6 +89,7 @@ type HistogramSnapshot struct {
 	MeanS float64 `json:"mean_seconds"`
 	P50S  float64 `json:"p50_seconds"`
 	P90S  float64 `json:"p90_seconds"`
+	P95S  float64 `json:"p95_seconds"`
 	P99S  float64 `json:"p99_seconds"`
 }
 
@@ -99,6 +100,12 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		MeanS: h.Mean().Seconds(),
 		P50S:  h.Quantile(0.50).Seconds(),
 		P90S:  h.Quantile(0.90).Seconds(),
+		P95S:  h.Quantile(0.95).Seconds(),
 		P99S:  h.Quantile(0.99).Seconds(),
 	}
 }
+
+// Quantiles returns the standard latency summary (p50/p95/p99, count, mean)
+// in seconds — the shape both the /metrics quantile gauges and the query
+// profiles consume.
+func (h *Histogram) Quantiles() HistogramSnapshot { return h.snapshot() }

@@ -40,6 +40,8 @@ func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
 	}
 	writeHistogram(w, "distjoin_inter_pair_delay_seconds", "Delay between consecutive delivered pairs (enumeration delay).", &r.interPair)
 	writeHistogram(w, "distjoin_pop_to_emit_seconds", "Latency from queue pop to result emission within one engine.", &r.popToEmit)
+	writeQuantiles(w, "distjoin_inter_pair_delay_quantiles_seconds", "Quantile estimates of the inter-pair delay (log2-bucket midpoints).", &r.interPair)
+	writeQuantiles(w, "distjoin_pop_to_emit_quantiles_seconds", "Quantile estimates of the pop-to-emit latency (log2-bucket midpoints).", &r.popToEmit)
 	if c != nil {
 		cs := c.Snapshot()
 		writeCounter(w, "distjoin_stats_pairs_reported_total", "Pairs reported (stats.Counters).", cs.PairsReported)
@@ -76,6 +78,18 @@ func writeHistogram(w io.Writer, name, help string, h *Histogram) {
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
 	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum().Seconds())
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// writeQuantiles emits summary-style p50/p95/p99 estimates from a log2
+// histogram as a quantile-labelled gauge family. Prometheus forbids a
+// histogram and a summary under one metric name, so the quantiles live in
+// their own family next to the raw buckets.
+func writeQuantiles(w io.Writer, name, help string, h *Histogram) {
+	q := h.Quantiles()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, q.P50S)
+	fmt.Fprintf(w, "%s{quantile=\"0.95\"} %g\n", name, q.P95S)
+	fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, q.P99S)
 }
 
 // Handler returns an http.Handler serving WriteMetrics output.

@@ -343,3 +343,48 @@ func TestConcurrentHooks(t *testing.T) {
 		t.Errorf("concurrent trace does not parse: %v", err)
 	}
 }
+
+func TestQuantilesMethod(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 95; i++ {
+		h.Observe(10 * time.Nanosecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	q := h.Quantiles()
+	if q.Count != 100 {
+		t.Fatalf("count=%d", q.Count)
+	}
+	if q.P50S <= 0 || q.P50S >= 16e-9 {
+		t.Errorf("p50=%g, want within (0,16ns)", q.P50S)
+	}
+	if q.P95S >= q.P99S+1e-12 && q.P95S > 16e-9 {
+		t.Errorf("p95=%g exceeds p99=%g", q.P95S, q.P99S)
+	}
+	if q.P99S < 8e-6 {
+		t.Errorf("p99=%g, want around 10µs", q.P99S)
+	}
+}
+
+func TestMetricsQuantileGauges(t *testing.T) {
+	r := New(Config{})
+	start := r.Now()
+	r.Emit(-1, 1.0, 4, start)
+	r.Deliver(1.0)
+	r.Deliver(2.0)
+	rec := httptest.NewRecorder()
+	Handler(r, nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE distjoin_inter_pair_delay_quantiles_seconds gauge",
+		`distjoin_inter_pair_delay_quantiles_seconds{quantile="0.5"}`,
+		`distjoin_inter_pair_delay_quantiles_seconds{quantile="0.95"}`,
+		`distjoin_inter_pair_delay_quantiles_seconds{quantile="0.99"}`,
+		`distjoin_pop_to_emit_quantiles_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

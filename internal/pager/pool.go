@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrAllPinned is returned when every frame in the pool is pinned and a new
@@ -23,6 +24,18 @@ type IOCounter interface {
 	AddWrite(n int64)
 	// AddHit records n accesses served from the buffer.
 	AddHit(n int64)
+}
+
+// IOTimer receives the wall-time cost of physical I/O from a Pool, in
+// addition to the counts an IOCounter sees. A nil IOTimer is valid and
+// records nothing. The profile package's Spans satisfies this interface, so
+// a query profile can attribute buffer-miss latency separately from the
+// engine phase that triggered the miss.
+type IOTimer interface {
+	// ObserveRead records one physical page read taking d.
+	ObserveRead(d time.Duration)
+	// ObserveWrite records one physical page write taking d.
+	ObserveWrite(d time.Duration)
 }
 
 // Frame is a buffer-pool slot holding one page. Callers access page bytes
@@ -65,6 +78,7 @@ type Pool struct {
 	frames   map[PageID]*Frame
 	lru      *list.List // unpinned frames, front = most recently used
 	counters IOCounter
+	timer    IOTimer
 }
 
 // NewPool creates a pool of capacity frames over store. The paper's 256 KiB
@@ -115,7 +129,7 @@ func (p *Pool) Get(id PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.store.ReadPage(id, f.data); err != nil {
+	if err := p.readPage(id, f.data); err != nil {
 		p.discard(f)
 		return nil, err
 	}
@@ -189,7 +203,7 @@ func (p *Pool) evictOne() error {
 	}
 	f := e.Value.(*Frame)
 	if f.dirty {
-		if err := p.store.WritePage(f.id, f.data); err != nil {
+		if err := p.writePage(f.id, f.data); err != nil {
 			return err
 		}
 		if p.counters != nil {
@@ -242,7 +256,7 @@ func (p *Pool) FlushAll() error {
 func (p *Pool) flushAllLocked() error {
 	for _, f := range p.frames {
 		if f.dirty {
-			if err := p.store.WritePage(f.id, f.data); err != nil {
+			if err := p.writePage(f.id, f.data); err != nil {
 				return err
 			}
 			if p.counters != nil {
@@ -282,4 +296,37 @@ func (p *Pool) SetCounters(c IOCounter) IOCounter {
 	old := p.counters
 	p.counters = c
 	return old
+}
+
+// SetIOTimer swaps the I/O timer, returning the previous one. With a nil
+// timer (the default) physical I/O is counted but not clocked, so the
+// steady-state path takes no extra time.Now calls.
+func (p *Pool) SetIOTimer(t IOTimer) IOTimer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.timer
+	p.timer = t
+	return old
+}
+
+// readPage performs one physical read, clocked when a timer is attached.
+func (p *Pool) readPage(id PageID, buf []byte) error {
+	if p.timer == nil {
+		return p.store.ReadPage(id, buf)
+	}
+	start := time.Now()
+	err := p.store.ReadPage(id, buf)
+	p.timer.ObserveRead(time.Since(start))
+	return err
+}
+
+// writePage performs one physical write, clocked when a timer is attached.
+func (p *Pool) writePage(id PageID, buf []byte) error {
+	if p.timer == nil {
+		return p.store.WritePage(id, buf)
+	}
+	start := time.Now()
+	err := p.store.WritePage(id, buf)
+	p.timer.ObserveWrite(time.Since(start))
+	return err
 }

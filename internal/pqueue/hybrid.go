@@ -7,10 +7,12 @@ import (
 	"hash/crc32"
 	"math"
 	"sort"
+	"time"
 
 	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/pairheap"
+	"distjoin/internal/profile"
 	"distjoin/internal/stats"
 )
 
@@ -59,6 +61,11 @@ type HybridConfig struct {
 	// nil.
 	Obs  *obs.Recorder
 	Part int32
+	// Spans receives span accounting for query profiles: disk-tier spills
+	// and bucket fetches are clocked as their own phases, and the buffer
+	// pool's physical I/O time is attributed via pager.IOTimer. May be nil
+	// (no clock reads at all).
+	Spans *profile.Spans
 }
 
 // HybridQueue is the paper's three-tier queue. The ordering is determined by
@@ -80,6 +87,7 @@ type HybridQueue[T any] struct {
 	pool     *pager.Pool
 	perPage  int
 	counters *stats.Counters
+	spans    *profile.Spans
 
 	// adaptive-mode sampling
 	sampled []float64
@@ -164,6 +172,9 @@ func NewHybridQueue[T any](less func(a, b T) bool, key func(T) float64, codec Co
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Spans != nil {
+		pool.SetIOTimer(cfg.Spans)
+	}
 	q := &HybridQueue[T]{
 		less:     less,
 		key:      key,
@@ -174,6 +185,7 @@ func NewHybridQueue[T any](less func(a, b T) bool, key func(T) float64, codec Co
 		pool:     pool,
 		perPage:  (cfg.PageSize - bucketHeaderSize) / codec.Size(),
 		counters: cfg.Counters,
+		spans:    cfg.Spans,
 	}
 	if !cfg.Adaptive {
 		q.d1 = cfg.DT
@@ -269,8 +281,19 @@ func (q *HybridQueue[T]) fixAdaptiveDT() error {
 	return nil
 }
 
-// spill appends v to the disk bucket covering distance d.
+// spill clocks the disk-tier append as PhaseSpill when profiling is on.
 func (q *HybridQueue[T]) spill(v T, d float64) error {
+	if q.spans == nil {
+		return q.doSpill(v, d)
+	}
+	start := time.Now()
+	err := q.doSpill(v, d)
+	q.spans.Add(profile.PhaseSpill, time.Since(start))
+	return err
+}
+
+// doSpill appends v to the disk bucket covering distance d.
+func (q *HybridQueue[T]) doSpill(v T, d float64) error {
 	idx := int(d / q.cfg.DT)
 	b := q.buckets[idx]
 	if b == nil {
@@ -362,11 +385,24 @@ func (q *HybridQueue[T]) loadBucket(idx int) error {
 	return nil
 }
 
-// refill advances the tier boundaries when the heap drains: the list is
+// refill clocks tier advancement as PhaseFetch when profiling is on and
+// there is anything to advance (an empty queue's no-op refill is not a
+// fetch).
+func (q *HybridQueue[T]) refill() error {
+	if q.spans == nil || (len(q.list) == 0 && q.diskLen == 0) {
+		return q.doRefill()
+	}
+	start := time.Now()
+	err := q.doRefill()
+	q.spans.Add(profile.PhaseFetch, time.Since(start))
+	return err
+}
+
+// doRefill advances the tier boundaries when the heap drains: the list is
 // poured into the heap, D1 := D2, D2 += DT, and the next disk bucket is
 // loaded into the list (paper §3.2). Empty bucket ranges are skipped in one
 // jump rather than one DT step at a time.
-func (q *HybridQueue[T]) refill() error {
+func (q *HybridQueue[T]) doRefill() error {
 	for q.heap.Empty() && (len(q.list) > 0 || q.diskLen > 0) {
 		for _, v := range q.list {
 			q.heap.Insert(v)

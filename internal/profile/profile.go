@@ -1,0 +1,147 @@
+package profile
+
+import "math"
+
+// SchemaVersion identifies the JSON schema of Profile and Trajectory
+// documents. Bump on any incompatible change; Validate rejects files whose
+// version does not match.
+const SchemaVersion = 1
+
+// Profile is the per-join query profile: the "EXPLAIN ANALYZE" document of
+// one Join/SemiJoin run. Wall time is attributed to engine phases via span
+// accounting (see Spans), the run's Table-1 counters and delay percentiles
+// are embedded, and Explain places the cost model's predictions next to the
+// observed actuals.
+type Profile struct {
+	SchemaVersion int    `json:"schema_version"`
+	Label         string `json:"label,omitempty"`
+
+	// WallSeconds is the caller-observed wall time from Profiler start to
+	// finish (index attach to iterator close).
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Phases attributes time to engine phases. Within one engine the phases
+	// are disjoint; across parallel workers they accumulate concurrently, so
+	// PhaseSeconds may exceed WallSeconds on the parallel path.
+	Phases []PhaseStat `json:"phases"`
+	// PhaseSeconds is the sum over Phases.
+	PhaseSeconds float64 `json:"phase_seconds"`
+	// Coverage is PhaseSeconds / WallSeconds: the fraction of wall time the
+	// span accounting explains. Sequential runs should be close to (and at
+	// most marginally above) 1; the benchmark harness treats < 0.9 as an
+	// instrumentation bug.
+	Coverage float64 `json:"phase_coverage"`
+
+	// IO is the physical disk-tier I/O nested inside the phases.
+	IO IOStat `json:"io"`
+
+	// Counters are the run's hardware-independent work counters (a copy of
+	// stats.Counters at finish time).
+	Counters Counters `json:"counters"`
+
+	// Delay summarizes the incremental-delay histograms.
+	Delay DelayStats `json:"delay"`
+
+	// TimeToKth records when the k-th result pair was delivered, for the
+	// marks the caller requested (the paper's incrementality claim).
+	TimeToKth []TTKPoint `json:"time_to_kth,omitempty"`
+
+	// Explain places cost-model predictions next to observed actuals.
+	Explain []ExplainRow `json:"explain,omitempty"`
+}
+
+// Counters mirrors the Table-1 work counters of stats.Counters in JSON
+// form. NodeIO = NodeReads + NodeWrites is precomputed because it is one of
+// the trajectory compare gates.
+type Counters struct {
+	DistCalcs      int64 `json:"dist_calcs"`
+	NodeDistCalcs  int64 `json:"node_dist_calcs"`
+	NodeReads      int64 `json:"node_reads"`
+	NodeWrites     int64 `json:"node_writes"`
+	NodeIO         int64 `json:"node_io"`
+	BufferHits     int64 `json:"buffer_hits"`
+	QueueInserts   int64 `json:"queue_inserts"`
+	QueuePops      int64 `json:"queue_pops"`
+	MaxQueueSize   int64 `json:"max_queue_size"`
+	QueueDiskPairs int64 `json:"queue_disk_pairs"`
+	QueueReads     int64 `json:"queue_reads"`
+	QueueWrites    int64 `json:"queue_writes"`
+	PairsReported  int64 `json:"pairs_reported"`
+	Filtered       int64 `json:"filtered"`
+}
+
+// QuantileStat summarizes one latency histogram.
+type QuantileStat struct {
+	Count int64   `json:"count"`
+	MeanS float64 `json:"mean_seconds"`
+	P50S  float64 `json:"p50_seconds"`
+	P95S  float64 `json:"p95_seconds"`
+	P99S  float64 `json:"p99_seconds"`
+}
+
+// DelayStats holds the run's incremental-latency summaries: the delay
+// between consecutive delivered pairs (the enumeration delay of the
+// dynamic-enumeration literature) and the queue-pop-to-emission latency.
+type DelayStats struct {
+	InterPair QuantileStat `json:"inter_pair"`
+	PopToEmit QuantileStat `json:"pop_to_emit"`
+}
+
+// TTKPoint records the delivery of the k-th result pair.
+type TTKPoint struct {
+	K       int64   `json:"k"`
+	Seconds float64 `json:"seconds"`
+	Dist    float64 `json:"dist"`
+}
+
+// ExplainRow is one predicted-vs-actual comparison of the EXPLAIN ANALYZE
+// output. RelErr is (Predicted - Actual) / Actual — signed, so
+// over-predictions are positive; it is 0 when Actual is 0 and Predicted is
+// too, and +Inf/-Inf when only Actual is 0.
+type ExplainRow struct {
+	Metric    string  `json:"metric"`
+	Predicted float64 `json:"predicted"`
+	Actual    float64 `json:"actual"`
+	RelErr    float64 `json:"rel_err"`
+}
+
+// RelErr computes the signed relative error of a prediction. Because the
+// result is destined for JSON (which cannot represent infinities), a
+// prediction compared against a zero actual saturates at ±MaxFloat64
+// instead of ±Inf.
+func RelErr(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		if predicted > 0 {
+			return math.MaxFloat64
+		}
+		return -math.MaxFloat64
+	}
+	e := (predicted - actual) / actual
+	if math.IsInf(e, 1) {
+		return math.MaxFloat64
+	}
+	if math.IsInf(e, -1) {
+		return -math.MaxFloat64
+	}
+	return e
+}
+
+// BuildPhases fills the span-derived fields of a Profile from s and the
+// observed wall seconds.
+func (p *Profile) BuildPhases(s *Spans, wallSeconds float64) {
+	p.SchemaVersion = SchemaVersion
+	p.WallSeconds = wallSeconds
+	p.Phases = s.PhaseSnapshot()
+	p.IO = s.IOSnapshot()
+	var sum float64
+	for _, ph := range p.Phases {
+		sum += ph.Seconds
+	}
+	p.PhaseSeconds = sum
+	if wallSeconds > 0 {
+		p.Coverage = sum / wallSeconds
+	}
+}

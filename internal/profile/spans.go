@@ -1,0 +1,269 @@
+// Package profile provides per-join query profiles: lightweight span
+// accounting that attributes a join's wall time to engine phases (node
+// expansion, queue push/pop, disk-tier spill/fetch, stream merge, result
+// emission), the JSON profile document built from those spans together with
+// the run's counters and delay percentiles, and the schema-versioned
+// benchmark-trajectory files cmd/benchrun records and compares.
+//
+// The package deliberately depends on the standard library only: it sits
+// below internal/pager, internal/pqueue and internal/distjoin in the import
+// graph, so any of them can thread a *Spans through their hot paths. The
+// instrumentation follows the repository's nil-safety convention: a nil
+// *Spans is valid everywhere, records nothing, performs no clock reads, and
+// allocates nothing (pinned by a testing.AllocsPerRun test, like the
+// internal/stats counters and the internal/obs recorder).
+package profile
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one engine phase of the incremental distance join. The
+// phases partition the per-pair work of Figure 3's loop: Expand is node-pair
+// processing (child enumeration, distance computation, pruning), Push and
+// Pop are the priority-queue operations, Spill and Fetch are the hybrid
+// queue's disk-tier traffic (§3.2), Merge is the parallel path's
+// order-preserving stream merge (including its blocking waits on partition
+// workers), and Emit is the residual per-result work: dequeue-side
+// filtering, report bookkeeping, and iterator overhead.
+type Phase uint8
+
+const (
+	// PhaseExpand is node-pair expansion, excluding nested queue inserts.
+	PhaseExpand Phase = iota
+	// PhasePush is priority-queue insertion, excluding nested disk spills.
+	PhasePush
+	// PhasePop is priority-queue removal, excluding nested disk fetches.
+	PhasePop
+	// PhaseSpill is the hybrid queue writing pairs to its disk tier.
+	PhaseSpill
+	// PhaseFetch is the hybrid queue loading disk buckets back into memory.
+	PhaseFetch
+	// PhaseMerge is the parallel order-preserving merge, including the time
+	// it blocks waiting for partition workers to produce.
+	PhaseMerge
+	// PhaseEmit is the per-result residue of the engine loop: everything in
+	// one next() call not attributed to a more specific phase (dequeue-side
+	// filtering, report bookkeeping, restart handling).
+	PhaseEmit
+
+	// NumPhases is the number of phases; Phase values are < NumPhases.
+	NumPhases = int(PhaseEmit) + 1
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseExpand: "expand",
+	PhasePush:   "push",
+	PhasePop:    "pop",
+	PhaseSpill:  "spill",
+	PhaseFetch:  "fetch",
+	PhaseMerge:  "merge",
+	PhaseEmit:   "emit",
+}
+
+// String returns the phase's JSON name.
+func (p Phase) String() string {
+	if int(p) < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Spans accumulates per-phase wall time and operation counts with atomic
+// operations. One Spans value may be shared (the parallel path merges
+// per-worker shards into the caller's Spans, exactly like stats.Counters
+// shards), but the delta-subtraction scheme the engine uses to keep phases
+// disjoint — bracket an outer operation, then subtract the time its nested
+// operations recorded — is only sound when a single goroutine writes the
+// Spans between the two reads. The engine therefore gives every engine
+// (sequential, or one per partition worker) its own Spans.
+//
+// Physical disk-tier I/O time is recorded separately via ObserveRead and
+// ObserveWrite (the pager.IOTimer interface): it is nested inside whatever
+// phase triggered the I/O, so it is reported as an "of which" figure, not
+// summed with the phases.
+type Spans struct {
+	ns     [NumPhases]atomic.Int64
+	counts [NumPhases]atomic.Int64
+
+	ioReadNS  atomic.Int64
+	ioWriteNS atomic.Int64
+	ioReads   atomic.Int64
+	ioWrites  atomic.Int64
+}
+
+// Enabled reports whether s records anything; it is false for nil.
+func (s *Spans) Enabled() bool { return s != nil }
+
+// Add records one span of duration d in phase p. Negative durations (clock
+// steps, or a delta subtraction racing a merge) count as zero time but still
+// count the operation.
+func (s *Spans) Add(p Phase, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d > 0 {
+		s.ns[p].Add(int64(d))
+	}
+	s.counts[p].Add(1)
+}
+
+// NS returns the accumulated nanoseconds of phase p.
+func (s *Spans) NS(p Phase) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ns[p].Load()
+}
+
+// Count returns the number of spans recorded in phase p.
+func (s *Spans) Count(p Phase) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[p].Load()
+}
+
+// InnerNS returns the nanoseconds of the phases nested inside one engine
+// next() call (expand, push, pop, spill, fetch). The engine subtracts the
+// delta of this sum across a next() bracket to attribute the residue to
+// PhaseEmit without double counting.
+func (s *Spans) InnerNS() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ns[PhaseExpand].Load() + s.ns[PhasePush].Load() + s.ns[PhasePop].Load() +
+		s.ns[PhaseSpill].Load() + s.ns[PhaseFetch].Load()
+}
+
+// QueueWriteNS returns push + spill nanoseconds — the queue-insertion work
+// nested inside a node expansion.
+func (s *Spans) QueueWriteNS() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ns[PhasePush].Load() + s.ns[PhaseSpill].Load()
+}
+
+// TotalNS returns the nanoseconds summed over all phases. Phases are
+// disjoint within one engine, so for a sequential join this is comparable
+// to wall time; on the parallel path worker spans accumulate concurrently
+// and the total may exceed the elapsed wall time.
+func (s *Spans) TotalNS() int64 {
+	if s == nil {
+		return 0
+	}
+	var t int64
+	for i := 0; i < NumPhases; i++ {
+		t += s.ns[i].Load()
+	}
+	return t
+}
+
+// Merge folds other into s (all fields are additive). The parallel path
+// merges per-worker shards into the caller's Spans as workers finish.
+func (s *Spans) Merge(other *Spans) {
+	if s == nil || other == nil {
+		return
+	}
+	for i := 0; i < NumPhases; i++ {
+		s.ns[i].Add(other.ns[i].Load())
+		s.counts[i].Add(other.counts[i].Load())
+	}
+	s.ioReadNS.Add(other.ioReadNS.Load())
+	s.ioWriteNS.Add(other.ioWriteNS.Load())
+	s.ioReads.Add(other.ioReads.Load())
+	s.ioWrites.Add(other.ioWrites.Load())
+}
+
+// Reset zeroes all accumulators. Not atomic as a whole; do not race with
+// recorders.
+func (s *Spans) Reset() {
+	if s == nil {
+		return
+	}
+	for i := 0; i < NumPhases; i++ {
+		s.ns[i].Store(0)
+		s.counts[i].Store(0)
+	}
+	s.ioReadNS.Store(0)
+	s.ioWriteNS.Store(0)
+	s.ioReads.Store(0)
+	s.ioWrites.Store(0)
+}
+
+// ObserveRead records one physical page read of duration d. Together with
+// ObserveWrite it satisfies the pager.IOTimer interface, so a *Spans can be
+// attached directly to a buffer pool.
+func (s *Spans) ObserveRead(d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d > 0 {
+		s.ioReadNS.Add(int64(d))
+	}
+	s.ioReads.Add(1)
+}
+
+// ObserveWrite records one physical page write of duration d.
+func (s *Spans) ObserveWrite(d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d > 0 {
+		s.ioWriteNS.Add(int64(d))
+	}
+	s.ioWrites.Add(1)
+}
+
+// PhaseStat is the JSON summary of one phase.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// IOStat is the JSON summary of the physical disk-tier I/O nested inside
+// the phases ("of which" time, not additive with them).
+type IOStat struct {
+	ReadSeconds  float64 `json:"read_seconds"`
+	WriteSeconds float64 `json:"write_seconds"`
+	Reads        int64   `json:"reads"`
+	Writes       int64   `json:"writes"`
+}
+
+// PhaseSnapshot returns the per-phase stats in phase order, skipping phases
+// with no recorded spans.
+func (s *Spans) PhaseSnapshot() []PhaseStat {
+	if s == nil {
+		return nil
+	}
+	out := make([]PhaseStat, 0, NumPhases)
+	for i := 0; i < NumPhases; i++ {
+		n := s.counts[i].Load()
+		ns := s.ns[i].Load()
+		if n == 0 && ns == 0 {
+			continue
+		}
+		out = append(out, PhaseStat{
+			Phase:   Phase(i).String(),
+			Seconds: time.Duration(ns).Seconds(),
+			Count:   n,
+		})
+	}
+	return out
+}
+
+// IOSnapshot returns the physical I/O summary.
+func (s *Spans) IOSnapshot() IOStat {
+	if s == nil {
+		return IOStat{}
+	}
+	return IOStat{
+		ReadSeconds:  time.Duration(s.ioReadNS.Load()).Seconds(),
+		WriteSeconds: time.Duration(s.ioWriteNS.Load()).Seconds(),
+		Reads:        s.ioReads.Load(),
+		Writes:       s.ioWrites.Load(),
+	}
+}

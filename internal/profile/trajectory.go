@@ -1,0 +1,288 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Env fingerprints the machine and toolchain a trajectory point was
+// recorded on. Wall-clock comparisons across different fingerprints are
+// meaningless; the hardware-independent work counters (node I/O, distance
+// calculations, max queue size) remain comparable.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the model name from /proc/cpuinfo, empty when
+	// unavailable (non-Linux, restricted /proc).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// CaptureEnv fingerprints the current process environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel extracts the first "model name" line of /proc/cpuinfo,
+// best-effort.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "model name") {
+			continue
+		}
+		if _, val, ok := strings.Cut(line, ":"); ok {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+// WorkloadProfile is one workload's entry in a trajectory file.
+type WorkloadProfile struct {
+	// Name identifies the workload within the canonical matrix; Compare
+	// matches workloads across files by name.
+	Name string `json:"name"`
+	// Deterministic marks workloads whose work counters are reproducible
+	// run-to-run (sequential runs, and parallel runs without result-bound
+	// cancellation). Only deterministic workloads gate the compare: a
+	// cancelled parallel run does a nondeterministic amount of speculative
+	// work, so its counters can only be reported, not compared.
+	Deterministic bool `json:"deterministic"`
+	// Profile is the workload's query profile.
+	Profile Profile `json:"profile"`
+}
+
+// Trajectory is one benchmark-trajectory point: the canonical workload
+// matrix measured on one machine at one commit, as written to
+// BENCH_<date>.json by cmd/benchrun.
+type Trajectory struct {
+	SchemaVersion int               `json:"schema_version"`
+	CreatedAt     string            `json:"created_at"` // RFC 3339
+	Tool          string            `json:"tool"`
+	Scale         string            `json:"scale"`
+	Env           Env               `json:"env"`
+	Workloads     []WorkloadProfile `json:"workloads"`
+}
+
+// Validate checks t against the schema: version match, non-empty workload
+// list, unique workload names, and per-workload invariants (positive wall
+// time, phases present, phase attribution covering at least MinCoverage of
+// wall time for deterministic sequential workloads is checked by the bench
+// harness, not here — coverage depends on workload size).
+func (t *Trajectory) Validate() error {
+	if t.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("profile: schema version %d, want %d", t.SchemaVersion, SchemaVersion)
+	}
+	if t.CreatedAt == "" {
+		return fmt.Errorf("profile: missing created_at")
+	}
+	if t.Env.GoVersion == "" || t.Env.GOOS == "" || t.Env.GOARCH == "" || t.Env.GOMAXPROCS <= 0 {
+		return fmt.Errorf("profile: incomplete env fingerprint %+v", t.Env)
+	}
+	if len(t.Workloads) == 0 {
+		return fmt.Errorf("profile: trajectory has no workloads")
+	}
+	seen := make(map[string]bool, len(t.Workloads))
+	for i, w := range t.Workloads {
+		if w.Name == "" {
+			return fmt.Errorf("profile: workload %d has no name", i)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("profile: duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		p := &w.Profile
+		if p.SchemaVersion != SchemaVersion {
+			return fmt.Errorf("profile: workload %q: schema version %d, want %d", w.Name, p.SchemaVersion, SchemaVersion)
+		}
+		if p.WallSeconds <= 0 {
+			return fmt.Errorf("profile: workload %q: non-positive wall time %g", w.Name, p.WallSeconds)
+		}
+		if len(p.Phases) == 0 {
+			return fmt.Errorf("profile: workload %q: no phase attribution", w.Name)
+		}
+		if p.Counters.PairsReported <= 0 {
+			return fmt.Errorf("profile: workload %q: no pairs reported", w.Name)
+		}
+	}
+	return nil
+}
+
+// Write encodes t as indented JSON.
+func (t *Trajectory) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteFile writes t to path.
+func (t *Trajectory) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a trajectory file and validates it.
+func Read(r io.Reader) (*Trajectory, error) {
+	var t Trajectory
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("profile: decoding trajectory: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadFile reads and validates the trajectory at path.
+func ReadFile(path string) (*Trajectory, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// CompareOptions tunes Compare.
+type CompareOptions struct {
+	// Threshold is the allowed relative growth of a gated metric before it
+	// counts as a regression (default 0.05 = 5%). Counter metrics are
+	// integers, so tiny workloads get an absolute slack of 2 ops as well.
+	Threshold float64
+}
+
+// gatedMetric is one hardware-independent metric the compare gates on.
+type gatedMetric struct {
+	name string
+	get  func(*Counters) int64
+}
+
+// gatedMetrics are the compare gates: work counters that do not depend on
+// the machine, so growth between two trajectory points is a real
+// algorithmic regression, not noise. Wall-clock changes only warn.
+var gatedMetrics = []gatedMetric{
+	{"node_io", func(c *Counters) int64 { return c.NodeIO }},
+	{"dist_calcs", func(c *Counters) int64 { return c.DistCalcs }},
+	{"max_queue_size", func(c *Counters) int64 { return c.MaxQueueSize }},
+}
+
+// CompareResult is the outcome of comparing two trajectory points.
+type CompareResult struct {
+	// Regressions are gated-metric increases beyond the threshold; a
+	// non-empty list should fail CI.
+	Regressions []string
+	// Warnings are wall-clock regressions and workload-coverage mismatches:
+	// reported, never fatal.
+	Warnings []string
+	// Notes are informational (improvements, env differences).
+	Notes []string
+}
+
+// OK reports whether the comparison found no gated regression.
+func (r *CompareResult) OK() bool { return len(r.Regressions) == 0 }
+
+// Compare diffs two trajectory points. Workloads are matched by name; only
+// workloads deterministic in BOTH files gate (others are noted). The gated,
+// hardware-independent metrics (node I/O, distance calculations, max queue
+// size) regress when the new value exceeds the old by more than the
+// threshold; wall-clock growth of any size is a warning only, because wall
+// time is not comparable across machines or load conditions.
+func Compare(old, curr *Trajectory, opts CompareOptions) *CompareResult {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.05
+	}
+	res := &CompareResult{}
+	if old.Env != curr.Env {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"env differs (old: %s %s/%s P=%d; new: %s %s/%s P=%d): wall-clock comparisons are unreliable",
+			old.Env.GoVersion, old.Env.GOOS, old.Env.GOARCH, old.Env.GOMAXPROCS,
+			curr.Env.GoVersion, curr.Env.GOOS, curr.Env.GOARCH, curr.Env.GOMAXPROCS))
+	}
+	oldByName := make(map[string]*WorkloadProfile, len(old.Workloads))
+	for i := range old.Workloads {
+		oldByName[old.Workloads[i].Name] = &old.Workloads[i]
+	}
+	matched := 0
+	for i := range curr.Workloads {
+		nw := &curr.Workloads[i]
+		ow, ok := oldByName[nw.Name]
+		if !ok {
+			res.Warnings = append(res.Warnings, fmt.Sprintf("workload %q: new, no baseline", nw.Name))
+			continue
+		}
+		matched++
+		delete(oldByName, nw.Name)
+		if !ow.Deterministic || !nw.Deterministic {
+			res.Notes = append(res.Notes, fmt.Sprintf("workload %q: nondeterministic counters, not gated", nw.Name))
+		} else {
+			for _, m := range gatedMetrics {
+				ov, nv := m.get(&ow.Profile.Counters), m.get(&nw.Profile.Counters)
+				switch {
+				case exceeds(ov, nv, opts.Threshold):
+					res.Regressions = append(res.Regressions, fmt.Sprintf(
+						"workload %q: %s regressed %d -> %d (%+.1f%%, threshold %.1f%%)",
+						nw.Name, m.name, ov, nv, pct(ov, nv), opts.Threshold*100))
+				case exceeds(nv, ov, opts.Threshold):
+					res.Notes = append(res.Notes, fmt.Sprintf(
+						"workload %q: %s improved %d -> %d (%+.1f%%)", nw.Name, m.name, ov, nv, pct(ov, nv)))
+				}
+			}
+		}
+		ows, nws := ow.Profile.WallSeconds, nw.Profile.WallSeconds
+		if ows > 0 && nws > ows*(1+opts.Threshold) {
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"workload %q: wall time %.3fs -> %.3fs (%+.1f%%) — warning only, wall clock is not gated",
+				nw.Name, ows, nws, (nws-ows)/ows*100))
+		}
+	}
+	for name := range oldByName {
+		res.Warnings = append(res.Warnings, fmt.Sprintf("workload %q: present in baseline, missing from new run", name))
+	}
+	if matched == 0 {
+		res.Regressions = append(res.Regressions, "no workload in common between the two trajectory files")
+	}
+	return res
+}
+
+// exceeds reports whether nv exceeds ov by more than the relative threshold
+// plus an absolute slack of 2 (integer counters on tiny workloads).
+func exceeds(ov, nv int64, threshold float64) bool {
+	limit := float64(ov)*(1+threshold) + 2
+	return float64(nv) > limit
+}
+
+func pct(ov, nv int64) float64 {
+	if ov == 0 {
+		return 0
+	}
+	return (float64(nv) - float64(ov)) / float64(ov) * 100
+}
