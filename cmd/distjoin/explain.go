@@ -66,8 +66,8 @@ func printProfile(w io.Writer, p *distjoin.Profile) {
 			p.IO.Reads, p.IO.ReadSeconds, p.IO.Writes, p.IO.WriteSeconds)
 	}
 	c := p.Counters
-	fmt.Fprintf(w, "counters: pairs=%d dist_calcs=%d node_io=%d buffer_hits=%d queue_inserts=%d max_queue=%d\n",
-		c.PairsReported, c.DistCalcs, c.NodeIO, c.BufferHits, c.QueueInserts, c.MaxQueueSize)
+	fmt.Fprintf(w, "counters: pairs=%d dist_calcs=%d node_io=%d buffer_hits=%d queue_inserts=%d max_queue=%d batch_pruned=%d\n",
+		c.PairsReported, c.DistCalcs, c.NodeIO, c.BufferHits, c.QueueInserts, c.MaxQueueSize, c.BatchPruned)
 	if p.Delay.InterPair.Count > 0 {
 		d := p.Delay.InterPair
 		fmt.Fprintf(w, "inter-pair delay: p50 %.2gs  p95 %.2gs  p99 %.2gs  (n=%d)\n", d.P50S, d.P95S, d.P99S, d.Count)

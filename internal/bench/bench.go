@@ -107,6 +107,16 @@ func Matrix(s Scale) []Workload {
 		}()},
 		{Name: "parallel-2-memory", Deterministic: false, Pairs: s.Pairs,
 			Opts: distjoin.Options{Parallelism: 2, MaxPairs: s.Pairs}},
+		// Simultaneous traversal with a result bound: the estimator tightens
+		// D_max, which switches expandBoth onto the plane-sweep — the batched
+		// kernel hot path. Its trajectory row records the sweep's
+		// batch_pruned tally alongside the usual work counters.
+		{Name: "kernel-sweep-hybrid", Deterministic: true, Pairs: s.Pairs, Opts: func() distjoin.Options {
+			o := hybrid
+			o.Traversal = distjoin.TraverseSimultaneous
+			o.MaxPairs = s.Pairs
+			return o
+		}()},
 		{Name: "semi-local-hybrid", Deterministic: true, Semi: true, Pairs: semiPairs, Opts: hybrid},
 	}
 }

@@ -1,0 +1,216 @@
+package distjoin
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"distjoin/internal/geom"
+	"distjoin/internal/rtree"
+	"distjoin/internal/stats"
+)
+
+// The differential suite pins the batched (columnar-kernel) expansion
+// against the legacy scalar expansion pair for pair: the same trees and
+// options are drained through two engines, one with scalarExpand set, and
+// the result streams and full counter snapshots must agree. On amd64 the
+// agreement is exact (the kernels replicate the scalar delta expressions
+// and accumulation order bit for bit); architectures whose compilers fuse
+// floating-point operations may differ by an ulp in L2 sums, so there the
+// Euclidean cases compare distances with a small ulp tolerance and skip
+// strict counter equality (a 1-ulp distance can land on the other side of
+// a prune threshold).
+
+type diffCase struct {
+	name  string
+	opts  Options
+	semi  func() *semiState
+	self  bool // self join: both sides read the same tree
+	limit int  // max pairs to drain; 0 = full drain
+}
+
+func diffCases() []diffCase {
+	sel := func(id rtree.ObjID) bool { return id%3 != 0 }
+	win := geom.R(geom.Pt(0, 0), geom.Pt(700, 800))
+	return []diffCase{
+		{name: "even-default", opts: Options{}},
+		{name: "basic", opts: Options{Traversal: TraverseBasic}},
+		{name: "simultaneous-maxdist", opts: Options{Traversal: TraverseSimultaneous, MaxDist: 120}},
+		{name: "simultaneous-nosweep", opts: Options{Traversal: TraverseSimultaneous, MaxDist: 120, NoPlaneSweep: true}},
+		{name: "even-maxpairs", opts: Options{MaxPairs: 400}, limit: 400},
+		{name: "simultaneous-maxpairs", opts: Options{Traversal: TraverseSimultaneous, MaxPairs: 400}, limit: 400},
+		{name: "reverse-maxpairs", opts: Options{Reverse: true, MaxPairs: 300}, limit: 300},
+		{name: "reverse-range", opts: Options{Reverse: true, MinDist: 40, MaxDist: 200, Traversal: TraverseSimultaneous}},
+		{name: "range", opts: Options{MinDist: 50, MaxDist: 200, Traversal: TraverseSimultaneous}},
+		{name: "manhattan-sweep", opts: Options{Metric: geom.Manhattan, Traversal: TraverseSimultaneous, MaxDist: 150}},
+		{name: "chessboard-sweep", opts: Options{Metric: geom.Chessboard, Traversal: TraverseSimultaneous, MaxDist: 100}},
+		{name: "lp3-generic-sweep", opts: Options{Metric: geom.Lp(3), Traversal: TraverseSimultaneous, MaxDist: 120}},
+		{name: "defer-leaves", opts: Options{DeferLeaves: true, Traversal: TraverseSimultaneous, MaxDist: 120}},
+		{name: "omit-equal-self", opts: Options{OmitEqualIDs: true, Traversal: TraverseSimultaneous, MaxDist: 80}, self: true},
+		{name: "window-select", opts: Options{Traversal: TraverseSimultaneous, MaxDist: 150, Window1: &win, Select2: sel}},
+		{name: "intersection-order", opts: Options{Traversal: TraverseSimultaneous, OrderIntersectionsFrom: geom.Pt(300, 400)}, limit: 500},
+		{name: "hybrid-queue-sweep", opts: Options{Traversal: TraverseSimultaneous, MaxDist: 120, Queue: QueueHybrid, HybridInMemory: true, HybridDT: 40}},
+		{
+			name: "semi-local",
+			opts: Options{Traversal: TraverseSimultaneous, MaxDist: 200},
+			semi: func() *semiState { return &semiState{filter: FilterLocal, k: 1} },
+		},
+		{
+			name: "semi-global",
+			opts: Options{},
+			semi: func() *semiState { return &semiState{filter: FilterGlobalAll, k: 1} },
+		},
+		{
+			name:  "semi-maxpairs",
+			opts:  Options{MaxPairs: 60},
+			semi:  func() *semiState { return &semiState{filter: FilterInside2, k: 1} },
+			limit: 60,
+		},
+	}
+}
+
+// drainEngineVariant runs one engine over the trees with scalarExpand as
+// given and returns the delivered pairs and the final counter snapshot.
+func drainEngineVariant(t *testing.T, t1, t2 SpatialIndex, tc diffCase, scalar bool) ([]Pair, stats.Counters) {
+	t.Helper()
+	opts := tc.opts
+	opts.Counters = &stats.Counters{}
+	var semi *semiState
+	if tc.semi != nil {
+		semi = tc.semi()
+	}
+	e, err := newEngine(t1, t2, opts, semi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.close()
+	e.scalarExpand = scalar
+	var out []Pair
+	for tc.limit <= 0 || len(out) < tc.limit {
+		p, ok, err := e.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out, opts.Counters.Snapshot()
+}
+
+func TestBatchedExpansionMatchesScalar(t *testing.T) {
+	pts1 := clusteredPoints(41, 130)
+	pts2 := clusteredPoints(42, 110)
+	tr1 := buildTree(t, pts1)
+	tr2 := buildTree(t, pts2)
+
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			i1, i2 := WrapRTree(tr1), WrapRTree(tr2)
+			if tc.self {
+				i2 = i1
+			}
+			batch, cb := drainEngineVariant(t, i1, i2, tc, false)
+			scalar, cs := drainEngineVariant(t, i1, i2, tc, true)
+
+			m := tc.opts.Metric
+			strict := runtime.GOARCH == "amd64" || (m != nil && m != geom.Euclidean)
+
+			if len(batch) != len(scalar) {
+				t.Fatalf("batch delivered %d pairs, scalar %d", len(batch), len(scalar))
+			}
+			for i := range batch {
+				b, s := batch[i], scalar[i]
+				if b.Obj1 != s.Obj1 || b.Obj2 != s.Obj2 {
+					t.Fatalf("pair %d: batch (%d,%d), scalar (%d,%d)", i, b.Obj1, b.Obj2, s.Obj1, s.Obj2)
+				}
+				if strict {
+					if b.Dist != s.Dist {
+						t.Fatalf("pair %d: batch dist %v, scalar %v", i, b.Dist, s.Dist)
+					}
+				} else if diff := math.Abs(b.Dist - s.Dist); diff > 4e-16*math.Max(b.Dist, 1) {
+					t.Fatalf("pair %d: batch dist %v, scalar %v (diff %g)", i, b.Dist, s.Dist, diff)
+				}
+			}
+			if strict && cb != cs {
+				t.Fatalf("counter snapshots diverge:\nbatch:  %+v\nscalar: %+v", cb, cs)
+			}
+		})
+	}
+}
+
+// TestBatchScratchPreSized pins the constructor's sizing contract: the row
+// scratch, columnar mirror and kernel output buffer all start with at least
+// the trees' max fan-out of capacity, so first expansions do not grow
+// buffers mid-join.
+func TestBatchScratchPreSized(t *testing.T) {
+	tr := buildTree(t, clusteredPoints(7, 300))
+	e, err := newEngine(WrapRTree(tr), WrapRTree(tr), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.close()
+	want := tr.MaxEntries()
+	if want <= 0 {
+		t.Fatalf("tree reports max entries %d", want)
+	}
+	if cap(e.scratch1) < want || cap(e.scratch2) < want {
+		t.Fatalf("scratch caps %d/%d, want >= %d", cap(e.scratch1), cap(e.scratch2), want)
+	}
+	if len(e.dbuf) < want {
+		t.Fatalf("dbuf len %d, want >= %d", len(e.dbuf), want)
+	}
+	// The columnar mirror must hold a full node's worth of rectangles
+	// without growing: filling it fan-out times allocates nothing.
+	r := geom.R(geom.Pt(0, 0), geom.Pt(1, 1))
+	avg := testing.AllocsPerRun(10, func() {
+		e.cols.Reset(2)
+		for i := 0; i < want; i++ {
+			e.cols.Append(r)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("columnar fill allocates %.1f times for %d rects, want 0", avg, want)
+	}
+}
+
+// TestBatchedExpansionZeroAllocs pins the steady-state allocation contract
+// of the batched distance layer: once the engine is constructed, mirroring
+// a node's entries into the columnar scratch, running a kernel over them,
+// and taking a sweep window allocates nothing.
+func TestBatchedExpansionZeroAllocs(t *testing.T) {
+	tr := buildTree(t, clusteredPoints(9, 400))
+	e, err := newEngine(WrapRTree(tr), WrapRTree(tr), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.close()
+
+	root, err := e.t1.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.t1.Node(root.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := appendNodeItems(nil, n, kindNode)
+	if len(items) < 2 {
+		t.Fatalf("root has %d entries, need >= 2", len(items))
+	}
+	q := geom.R(geom.Pt(100, 100), geom.Pt(300, 300))
+
+	// Warm the window scratch's outer slices once.
+	_ = e.batchMinDist(q, items)
+	e.colsWin.Window(&e.cols, 0, len(items))
+
+	avg := testing.AllocsPerRun(200, func() {
+		out := e.batchMinDist(q, items)
+		e.colsWin.Window(&e.cols, 1, len(items))
+		e.kern.MinDistBatch(q, &e.colsWin, out[:len(items)-1])
+	})
+	if avg != 0 {
+		t.Fatalf("batched expansion allocates %.1f times per run, want 0", avg)
+	}
+}

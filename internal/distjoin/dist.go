@@ -7,14 +7,21 @@ import "distjoin/internal/geom"
 // entries in direct-object mode this is the exact object distance.
 func (e *engine) minDist(a, b item) float64 {
 	d := e.opts.Metric.MinDist(a.rect, b.rect)
+	e.countDistCalc(a, b)
+	return d
+}
+
+// countDistCalc records one distance calculation for the pair in the
+// paper's accounting: an object distance when both operands are object
+// geometry (exact or bounding rectangle), a node distance otherwise. The
+// batched expansion computes distances in kernels and accounts them here,
+// at the same per-pair points the scalar path counts.
+func (e *engine) countDistCalc(a, b item) {
 	if a.kind != kindNode && b.kind != kindNode {
-		// Both operands are object geometry (exact or bounding rectangle):
-		// this is an object distance calculation in the paper's accounting.
 		e.opts.Counters.AddDistCalc(1)
 	} else {
 		e.opts.Counters.AddNodeDistCalc(1)
 	}
-	return d
 }
 
 // maxDist returns the d_max upper bound of §2.2.3/§2.2.4 for a pair:

@@ -8,11 +8,13 @@ import (
 	"time"
 
 	"distjoin/internal/geom"
+	"distjoin/internal/geom/kernel"
 	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/pqueue"
 	"distjoin/internal/profile"
 	"distjoin/internal/rtree"
+	"distjoin/internal/spatial"
 )
 
 // semiState holds the bookkeeping shared by the distance semi-join (§2.3,
@@ -73,8 +75,23 @@ type engine struct {
 	// each seeded with a disjoint slice of the top-level pair space.
 	seedPairs [][2]item
 	// scratch1 and scratch2 are reused across node expansions so that
-	// childItems does not allocate a fresh slice per expanded node.
+	// childItems does not allocate a fresh slice per expanded node. Both
+	// are pre-sized from the trees' max fan-out at construction.
 	scratch1, scratch2 []item
+
+	// kern dispatches the batched distance kernels for the run's metric;
+	// cols is the columnar scratch appendNodeItems-produced children are
+	// mirrored into, colsWin the no-copy window view the plane sweep uses
+	// for per-run kernel calls, and dbuf the kernel output buffer. All are
+	// reused across expansions: the batched distance layer allocates
+	// nothing in steady state. scalarExpand (Options.NoBatchKernels)
+	// forces the one-at-a-time legacy expansion; the differential tests
+	// pin the two paths against each other pair for pair.
+	kern         kernel.Batch
+	cols         kernel.RectCols
+	colsWin      kernel.RectCols
+	dbuf         []float64
+	scalarExpand bool
 
 	// obs receives observability events; nil disables them (next then
 	// bypasses the timing wrapper entirely). part is this engine's
@@ -124,8 +141,23 @@ func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [
 		seedPairs: seeds,
 		obs:       opts.Obs,
 		part:      part,
-		sp:        opts.Profile,
+		sp:           opts.Profile,
+		kern:         kernel.For(opts.Metric),
+		scalarExpand: opts.NoBatchKernels,
 	}
+	// Pre-size the expansion scratch (row items, columnar mirror, kernel
+	// outputs) from the trees' max fan-out so first expansions do not grow
+	// buffers mid-join. scratch1 serves either tree; scratch2 only holds
+	// second-tree entries on the simultaneous path.
+	f1, f2 := indexFanout(t1), indexFanout(t2)
+	fmax := f1
+	if f2 > fmax {
+		fmax = f2
+	}
+	e.scratch1 = make([]item, 0, fmax)
+	e.scratch2 = make([]item, 0, f2)
+	e.cols.Grow(t1.Dims(), fmax)
+	e.dbuf = make([]float64, fmax)
 	if opts.MaxPairs > 0 {
 		if opts.Reverse {
 			e.revEst = newRevEstimator(opts.MaxPairs)
@@ -308,6 +340,18 @@ func (e *engine) restart() error {
 	return e.seed()
 }
 
+// indexFanout returns a tree's max fan-out via the optional spatial.Fanout
+// extension, falling back to a conservative default for structures that do
+// not report one (the scratch then grows once on the first large node).
+func indexFanout(t SpatialIndex) int {
+	if f, ok := t.(spatial.Fanout); ok {
+		if n := f.MaxFanout(); n > 0 {
+			return n
+		}
+	}
+	return 32
+}
+
 // rootItem builds the queue item for an index's root node.
 func (e *engine) rootItem(t SpatialIndex) (item, error) {
 	root, err := t.Root()
@@ -332,39 +376,95 @@ func (e *engine) leafEntryKind() itemKind {
 	return kindObj
 }
 
-// enqueue computes the pair's key and bounds, applies range, estimation and
-// semi-join pruning, and inserts it into the queue.
-func (e *engine) enqueue(i1, i2 item) error {
+// admitVerdict is admitPair's decision for a candidate pair.
+type admitVerdict uint8
+
+const (
+	// admitDrop: the pair was filtered before any distance work.
+	admitDrop admitVerdict = iota
+	// admitIntersection: the pair belongs to the §2.2.5 secondary-ordering
+	// mode and must go through enqueueIntersection.
+	admitIntersection
+	// admitProceed: the pair proceeds to distance keying.
+	admitProceed
+)
+
+// admitPair applies every pre-distance check of the enqueue path: the
+// §2.2.5 selection criteria, equal-id omission, the intersection-ordering
+// dispatch, and the semi-join Inside2 filters. Shared by the scalar and
+// batched expansions so their filtering (and Filter accounting) is
+// identical.
+func (e *engine) admitPair(i1, i2 item) admitVerdict {
 	// Spatial and attribute selection criteria (§2.2.5): discard items
 	// outside their window or rejected by their predicate before any
 	// distance work.
 	if !e.admit(i1, 1) || !e.admit(i2, 2) {
 		e.opts.Counters.Filter(1)
-		return nil
+		return admitDrop
 	}
 	if e.opts.OmitEqualIDs && !i1.isNode() && !i2.isNode() && i1.ref == i2.ref {
 		e.opts.Counters.Filter(1)
-		return nil
+		return admitDrop
 	}
 	if len(e.opts.OrderIntersectionsFrom) > 0 {
-		return e.enqueueIntersection(i1, i2)
+		return admitIntersection
 	}
 	// Semi-join Inside2 filtering: drop pairs whose first object has been
 	// reported before they ever reach the queue.
 	if e.semi != nil && e.semi.filter >= FilterInside2 && !i1.isNode() && e.semi.done(i1.ref) {
 		e.opts.Counters.Filter(1)
-		return nil
+		return admitDrop
 	}
 	if e.semi != nil && e.semi.symmetric && e.semi.filter >= FilterInside2 &&
 		!i2.isNode() && e.semi.seen2.Has(i2.ref) {
 		e.opts.Counters.Filter(1)
+		return admitDrop
+	}
+	return admitProceed
+}
+
+// enqueue computes the pair's key and bounds, applies range, estimation and
+// semi-join pruning, and inserts it into the queue.
+func (e *engine) enqueue(i1, i2 item) error {
+	switch e.admitPair(i1, i2) {
+	case admitDrop:
 		return nil
+	case admitIntersection:
+		return e.enqueueIntersection(i1, i2)
 	}
 	d := e.minDist(i1, i2)
 	if d > e.dmaxCur {
 		e.opts.Counters.Filter(1)
 		return nil
 	}
+	return e.enqueueKeyed(i1, i2, d)
+}
+
+// enqueuePre is enqueue for a pair whose minimum distance was already
+// computed by a batch kernel, as the pre-distance pre (squared, for the
+// deferred L2 kernel). The distance-calculation counter is bumped exactly
+// where the scalar path would have computed it — after the admit checks,
+// before the range filter — and the range filter compares in the pre
+// domain, deferring the pair's single Sqrt to survivors.
+func (e *engine) enqueuePre(i1, i2 item, pre float64) error {
+	switch e.admitPair(i1, i2) {
+	case admitDrop:
+		return nil
+	case admitIntersection:
+		return e.enqueueIntersection(i1, i2)
+	}
+	e.countDistCalc(i1, i2)
+	if e.kern.PreGreater(pre, e.dmaxCur) {
+		e.opts.Counters.Filter(1)
+		return nil
+	}
+	return e.enqueueKeyed(i1, i2, e.kern.Finish(pre))
+}
+
+// enqueueKeyed finishes enqueueing a pair whose minimum distance d has
+// passed the range filter: d_max bounds, estimation, semi-join global
+// pruning, and the queue insert.
+func (e *engine) enqueueKeyed(i1, i2 item, d float64) error {
 	needMax := e.dmin > 0 || e.est != nil || e.revEst != nil || e.opts.Reverse ||
 		(e.semi != nil && e.semi.filter >= FilterGlobalNodes)
 	var dmax float64
@@ -836,6 +936,32 @@ func (e *engine) expandSide(p qpair, side int) error {
 		}
 	}
 
+	if !e.scalarExpand && len(children) > 0 {
+		// Batched path: one kernel call computes the distance from the
+		// opposite item to every child; the localBound prune and the range
+		// filter inside enqueuePre then compare the precomputed values
+		// (in the pre domain, so L2 pays its Sqrt only for survivors).
+		pres := e.batchMinDist(other.rect, children)
+		for i, c := range children {
+			if side == 2 && localBound < math.Inf(1) {
+				if e.kern.PreGreater(pres[i], localBound) {
+					e.opts.Counters.Filter(1)
+					continue
+				}
+			}
+			var err error
+			if side == 1 {
+				err = e.enqueuePre(c, other, pres[i])
+			} else {
+				err = e.enqueuePre(other, c, pres[i])
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	for _, c := range children {
 		if side == 2 && localBound < math.Inf(1) {
 			if e.opts.Metric.MinDist(other.rect, c.rect) > localBound {
@@ -854,6 +980,34 @@ func (e *engine) expandSide(p qpair, side int) error {
 		}
 	}
 	return nil
+}
+
+// fillCols mirrors items into the engine's columnar scratch and sizes the
+// kernel output buffer; both are reused across expansions, so the fill
+// allocates nothing in steady state.
+func (e *engine) fillCols(items []item) {
+	dims := 0
+	if len(items) > 0 {
+		dims = len(items[0].rect.Lo)
+	}
+	e.cols.Reset(dims)
+	for _, it := range items {
+		e.cols.Append(it.rect)
+	}
+	if cap(e.dbuf) < len(items) {
+		e.dbuf = make([]float64, len(items))
+	}
+}
+
+// batchMinDist computes the minimum (pre-)distance from query to every
+// item in one kernel call over the columnar scratch. The computation
+// itself is unaccounted: callers bump the distance counters per pair, at
+// the same points the scalar path counts.
+func (e *engine) batchMinDist(query geom.Rect, items []item) []float64 {
+	e.fillCols(items)
+	out := e.dbuf[:len(items)]
+	e.kern.MinDistBatch(query, &e.cols, out)
+	return out
 }
 
 // appendNodeItems converts a node's entries into queue items, appending to
@@ -902,18 +1056,42 @@ func (e *engine) expandBoth(p qpair) error {
 		byLowEdge := func(a, b item) int { return cmp.Compare(a.rect.Lo[0], b.rect.Lo[0]) }
 		slices.SortFunc(c1, byLowEdge)
 		slices.SortFunc(c2, byLowEdge)
+		if !e.scalarExpand {
+			return e.sweepBatch(c1, c2)
+		}
 		start := 0
+		var pruned int64
 		for _, a := range c1 {
 			// Advance past entries that end before the sweep window.
 			for start < len(c2) && c2[start].rect.Hi[0] < a.rect.Lo[0]-e.dmaxCur {
 				start++
 			}
+			evaluated := 0
 			for k := start; k < len(c2); k++ {
 				b := c2[k]
 				if b.rect.Lo[0] > a.rect.Hi[0]+e.dmaxCur {
 					break // beyond the sweep window along the axis
 				}
+				evaluated++
 				if err := e.enqueue(a, b); err != nil {
+					return err
+				}
+			}
+			pruned += int64(len(c2) - evaluated)
+		}
+		e.tallyBatchPruned(pruned)
+		return nil
+	}
+	if !e.scalarExpand && len(c1) > 0 && len(c2) > 0 {
+		// Full cross product, batched: mirror the second node's entries into
+		// the columnar scratch once, then one kernel call per first-side
+		// entry covers its whole row of the pair block.
+		e.fillCols(c2)
+		for _, a := range c1 {
+			out := e.dbuf[:len(c2)]
+			e.kern.MinDistBatch(a.rect, &e.cols, out)
+			for i, b := range c2 {
+				if err := e.enqueuePre(a, b, out[i]); err != nil {
 					return err
 				}
 			}
@@ -930,9 +1108,81 @@ func (e *engine) expandBoth(p qpair) error {
 	return nil
 }
 
+// sweepBatch is the batched form of the Figure 4 plane sweep: the candidate
+// run of each first-side entry is evaluated by a single kernel call over a
+// no-copy window of the columnar mirror of c2. The run is delimited against
+// the current D_max, and the live bound — which estimation can only
+// tighten, never relax, during a join — is re-checked per pair before
+// enqueueing, so the pairs actually admitted are exactly the scalar sweep's
+// (a tightened bound truncates the precomputed run the same way it breaks
+// the scalar inner loop). Pairs the sweep window skips cost no distance
+// computation and no queue work; they are tallied as BatchPruned, matching
+// the scalar sweep's tally.
+func (e *engine) sweepBatch(c1, c2 []item) error {
+	if len(c1) == 0 || len(c2) == 0 {
+		return nil
+	}
+	e.fillCols(c2)
+	start := 0
+	var pruned int64
+	for _, a := range c1 {
+		// Advance past entries that end before the sweep window.
+		for start < len(c2) && c2[start].rect.Hi[0] < a.rect.Lo[0]-e.dmaxCur {
+			start++
+		}
+		end := start
+		for end < len(c2) && c2[end].rect.Lo[0] <= a.rect.Hi[0]+e.dmaxCur {
+			end++
+		}
+		evaluated := 0
+		if end > start {
+			e.colsWin.Window(&e.cols, start, end)
+			out := e.dbuf[:end-start]
+			e.kern.MinDistBatch(a.rect, &e.colsWin, out)
+			for k := start; k < end; k++ {
+				b := c2[k]
+				if b.rect.Lo[0] > a.rect.Hi[0]+e.dmaxCur {
+					break // D_max tightened mid-run; the rest is out of window
+				}
+				evaluated++
+				if err := e.enqueuePre(a, b, out[k-start]); err != nil {
+					return err
+				}
+			}
+		}
+		pruned += int64(len(c2) - evaluated)
+	}
+	e.tallyBatchPruned(pruned)
+	return nil
+}
+
+// tallyBatchPruned records pairs the plane sweep (or block prune) skipped
+// without any distance computation — cost that simply never happened, kept
+// out of both the distance-calculation and Filtered accounting.
+func (e *engine) tallyBatchPruned(n int64) {
+	if n <= 0 {
+		return
+	}
+	e.opts.Counters.AddBatchPruned(n)
+	e.obs.BatchPrune(n)
+}
+
 // withinOf filters items to those within the effective maximum distance of
-// the region spanned by the opposite node.
+// the region spanned by the opposite node. The batched form computes every
+// candidate's distance in one kernel call and compares in the pre domain.
 func (e *engine) withinOf(items []item, opposite geom.Rect) []item {
+	if !e.scalarExpand && len(items) > 0 {
+		pres := e.batchMinDist(opposite, items)
+		out := items[:0]
+		for i, it := range items {
+			if e.kern.PreLessEq(pres[i], e.dmaxCur) {
+				out = append(out, it)
+			} else {
+				e.opts.Counters.Filter(1)
+			}
+		}
+		return out
+	}
 	out := items[:0]
 	for _, it := range items {
 		if e.opts.Metric.MinDist(it.rect, opposite) <= e.dmaxCur {

@@ -115,6 +115,13 @@ type Options struct {
 	PlaneSweep     bool // enable plane sweep for TraverseSimultaneous (default true via newEngine)
 	NoPlaneSweep   bool // disable plane sweep explicitly
 	HybridInMemory bool
+	// NoBatchKernels disables the batched columnar distance kernels of
+	// internal/geom/kernel and restores the one-pair-at-a-time scalar
+	// expansion. The two paths produce identical results and identical
+	// work counters — this switch exists for ablation experiments
+	// (cmd/experiments -exp kernels) and differential debugging; leave it
+	// off otherwise.
+	NoBatchKernels bool
 	// Window1 and Window2 restrict each input to objects lying inside a
 	// rectangle — the spatial selection criterion of §2.2.5, folded into
 	// the join so that index subtrees outside the window are pruned

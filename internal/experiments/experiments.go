@@ -787,3 +787,50 @@ func DimSweep(s Scale) ([]Run, error) {
 	}
 	return out, nil
 }
+
+// Kernels is the batched-kernel ablation (beyond the paper): the same
+// workload is run with the columnar distance kernels of
+// internal/geom/kernel (the default) and with Options.NoBatchKernels
+// restoring the scalar one-pair-at-a-time expansion. Both the Table-1
+// configuration (Even traversal — batched expandSide) and a
+// Simultaneous-traversal run with a result bound (estimation tightens
+// D_max, engaging the batched plane sweep of expandBoth) are measured.
+// The two paths must agree on every hardware-independent work counter —
+// the run fails otherwise — so any wall-time difference is attributable
+// to the kernels alone. The raw kernel microbenchmark lives in
+// `go test -bench Kernel ./internal/geom/kernel`.
+func Kernels(d *Datasets) ([]Run, error) {
+	pairs := maxInt(d.Scale.PairCounts)
+	sweep := d.Scale.hybridOpts()
+	sweep.Traversal = distjoin.TraverseSimultaneous
+	sweep.MaxPairs = pairs
+	legs := []struct {
+		label string
+		opts  distjoin.Options
+	}{
+		{"even/batched", d.Scale.hybridOpts()},
+		{"even/scalar", func() distjoin.Options { o := d.Scale.hybridOpts(); o.NoBatchKernels = true; return o }()},
+		{"sweep/batched", sweep},
+		{"sweep/scalar", func() distjoin.Options { o := sweep; o.NoBatchKernels = true; return o }()},
+	}
+	var out []Run
+	for _, leg := range legs {
+		r, err := d.runJoin(leg.label, pairs, leg.opts, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	// Pin the counter-parity contract pairwise: scalar leg i+1 must match
+	// batched leg i on every work counter and on the result stream's tail.
+	for i := 0; i < len(out); i += 2 {
+		b, s := out[i], out[i+1]
+		if b.Reported != s.Reported || b.DistCalcs != s.DistCalcs ||
+			b.MaxQueue != s.MaxQueue || b.NodeIO != s.NodeIO || b.LastDist != s.LastDist {
+			return nil, fmt.Errorf("kernels: %s and %s diverged: reported %d/%d distCalcs %d/%d maxQueue %d/%d nodeIO %d/%d last %g/%g",
+				b.Label, s.Label, b.Reported, s.Reported, b.DistCalcs, s.DistCalcs,
+				b.MaxQueue, s.MaxQueue, b.NodeIO, s.NodeIO, b.LastDist, s.LastDist)
+		}
+	}
+	return out, nil
+}

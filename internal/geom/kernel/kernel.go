@@ -1,0 +1,583 @@
+// Package kernel provides batched distance kernels over a columnar
+// (struct-of-arrays) rectangle layout. The join engine's expansion phase
+// computes the distance from one query region to every entry of a node; the
+// scalar path pays an interface call plus a per-dimension closure per entry
+// (geom.lpMetric.aggregate). The kernels here compute the whole batch in
+// closure-free loops over contiguous per-dimension columns, specialized for
+// the L1, L2 and L∞ metrics (with the 2D case unrolled), so the compiler
+// can keep the accumulators in registers and eliminate bounds checks.
+//
+// The L2 kernels are "deferred": they produce squared distances, postponing
+// the single math.Sqrt to survivors of the caller's prune (Finish). The
+// PreGreater/PreLessEq helpers decide comparisons of the finished distance
+// against a bound directly in the squared domain when the margin is wide,
+// falling back to the exact sqrt comparison inside a generous gray zone —
+// so every prune decision is bitwise identical to the scalar path's.
+//
+// Per-dimension delta expressions and accumulation order are copied from
+// geom.lpMetric exactly (same branch shapes, same dimension order), so for
+// the canonical metrics the batch results are bitwise equal to the scalar
+// Metric calls on amd64, where the gc compiler does not fuse floating-point
+// operations across statements. Architectures that fuse (arm64 FMA) may
+// differ by at most 1 ulp in the L2 squared sums; the engine only requires
+// self-consistency, and the fuzz harness pins the cross-check tolerance.
+package kernel
+
+import (
+	"math"
+
+	"distjoin/internal/geom"
+)
+
+// RectCols is a struct-of-arrays batch of rectangles: lo[d][i] and hi[d][i]
+// hold coordinate d of rectangle i, contiguous per dimension so the kernels
+// stream each column once. The row-form rectangles are retained (slice
+// headers only — geometry is not copied) for the generic-metric fallback
+// and for callers that need the original geometry of row i.
+type RectCols struct {
+	lo, hi [][]float64
+	rects  []geom.Rect
+	n      int
+	dims   int
+}
+
+// Reset empties the batch and sets its dimensionality, retaining all
+// backing storage from previous use.
+func (c *RectCols) Reset(dims int) {
+	c.ensureDims(dims)
+	for d := 0; d < dims; d++ {
+		c.lo[d] = c.lo[d][:0]
+		c.hi[d] = c.hi[d][:0]
+	}
+	c.rects = c.rects[:0]
+	c.n = 0
+	c.dims = dims
+}
+
+// ensureDims grows the per-dimension column headers to dims entries.
+func (c *RectCols) ensureDims(dims int) {
+	for len(c.lo) < dims {
+		c.lo = append(c.lo, nil)
+		c.hi = append(c.hi, nil)
+	}
+}
+
+// Grow pre-allocates column capacity for n rectangles of the given
+// dimensionality, so steady-state Append calls never allocate.
+func (c *RectCols) Grow(dims, n int) {
+	c.ensureDims(dims)
+	for d := 0; d < dims; d++ {
+		if cap(c.lo[d]) < n {
+			c.lo[d] = append(make([]float64, 0, n), c.lo[d]...)
+		}
+		if cap(c.hi[d]) < n {
+			c.hi[d] = append(make([]float64, 0, n), c.hi[d]...)
+		}
+	}
+	if cap(c.rects) < n {
+		c.rects = append(make([]geom.Rect, 0, n), c.rects...)
+	}
+}
+
+// Append adds one rectangle to the batch. r must have the dimensionality
+// the batch was Reset with.
+func (c *RectCols) Append(r geom.Rect) {
+	for d := 0; d < c.dims; d++ {
+		c.lo[d] = append(c.lo[d], r.Lo[d])
+		c.hi[d] = append(c.hi[d], r.Hi[d])
+	}
+	c.rects = append(c.rects, r)
+	c.n++
+}
+
+// Len returns the number of rectangles in the batch.
+func (c *RectCols) Len() int { return c.n }
+
+// Dims returns the dimensionality the batch was Reset with.
+func (c *RectCols) Dims() int { return c.dims }
+
+// Rect returns the row form of rectangle i.
+func (c *RectCols) Rect(i int) geom.Rect { return c.rects[i] }
+
+// Window points c at rows [i, j) of src without copying any coordinate
+// data: the column headers are re-sliced in place, so a long-lived window
+// scratch reuses its own outer slices and allocates nothing in steady
+// state. c must not be src.
+func (c *RectCols) Window(src *RectCols, i, j int) {
+	c.ensureDims(src.dims)
+	c.lo = c.lo[:0]
+	c.hi = c.hi[:0]
+	for d := 0; d < src.dims; d++ {
+		c.lo = append(c.lo, src.lo[d][i:j])
+		c.hi = append(c.hi, src.hi[d][i:j])
+	}
+	c.rects = src.rects[i:j]
+	c.n = j - i
+	c.dims = src.dims
+}
+
+// PointCols is a struct-of-arrays batch of points: col[d][i] holds
+// coordinate d of point i.
+type PointCols struct {
+	col  [][]float64
+	pts  []geom.Point
+	n    int
+	dims int
+}
+
+// Reset empties the batch and sets its dimensionality.
+func (c *PointCols) Reset(dims int) {
+	for len(c.col) < dims {
+		c.col = append(c.col, nil)
+	}
+	for d := 0; d < dims; d++ {
+		c.col[d] = c.col[d][:0]
+	}
+	c.pts = c.pts[:0]
+	c.n = 0
+	c.dims = dims
+}
+
+// Append adds one point to the batch.
+func (c *PointCols) Append(p geom.Point) {
+	for d := 0; d < c.dims; d++ {
+		c.col[d] = append(c.col[d], p[d])
+	}
+	c.pts = append(c.pts, p)
+	c.n++
+}
+
+// Len returns the number of points in the batch.
+func (c *PointCols) Len() int { return c.n }
+
+// Point returns the row form of point i.
+func (c *PointCols) Point(i int) geom.Point { return c.pts[i] }
+
+// kind selects a specialized kernel family.
+type kind uint8
+
+const (
+	kindGeneric kind = iota
+	kindL1
+	kindL2
+	kindLInf
+)
+
+// Batch dispatches batched distance computations for one metric. The zero
+// Batch is not usable; construct with For.
+type Batch struct {
+	m    geom.Metric
+	kind kind
+}
+
+// For returns the batch kernels for m. The canonical geom metrics
+// (Euclidean, Manhattan, Chessboard — as returned by the package variables,
+// Lp, or MetricByName) get specialized closure-free kernels; any other
+// Metric implementation falls back to per-row scalar calls, which keeps the
+// caller's code path uniform at the scalar path's cost.
+func For(m geom.Metric) Batch {
+	b := Batch{m: m, kind: kindGeneric}
+	switch m {
+	case geom.Manhattan:
+		b.kind = kindL1
+	case geom.Euclidean:
+		b.kind = kindL2
+	case geom.Chessboard:
+		b.kind = kindLInf
+	}
+	return b
+}
+
+// Metric returns the metric the kernels compute.
+func (b Batch) Metric() geom.Metric { return b.m }
+
+// Deferred reports whether the kernels produce pre-distances (squared, for
+// L2) that require Finish before use as true distances. Comparisons against
+// bounds can stay in the pre domain via PreGreater/PreLessEq.
+func (b Batch) Deferred() bool { return b.kind == kindL2 }
+
+// Finish converts one kernel output to the metric's true distance: the
+// deferred L2 kernel's squared distances take their single Sqrt here; all
+// other kernels already produce finished distances.
+func (b Batch) Finish(pre float64) float64 {
+	if b.kind == kindL2 {
+		return math.Sqrt(pre)
+	}
+	return pre
+}
+
+// PreGreater reports Finish(pre) > bound, deciding in the pre domain when
+// the margin allows. The decision is exactly the scalar comparison's: wide
+// margins are decided by monotonicity of sqrt (the factor-4 guard bands
+// absorb the rounding of bound*bound and of the sqrt itself), and anything
+// inside the gray zone — or any non-finite corner — falls back to the
+// exact math.Sqrt comparison.
+func (b Batch) PreGreater(pre, bound float64) bool {
+	if b.kind != kindL2 {
+		return pre > bound
+	}
+	if !(pre >= 0) {
+		return false // NaN pre: sqrt(NaN) > bound is false for every bound
+	}
+	if math.IsInf(bound, 1) || bound != bound {
+		return false // nothing exceeds +Inf; comparisons with NaN are false
+	}
+	if bound < 0 {
+		return true // sqrt(pre) >= 0 > bound
+	}
+	s := bound * bound
+	if s == 0 || math.IsInf(s, 1) {
+		return math.Sqrt(pre) > bound // bound² under- or overflowed
+	}
+	if pre > 4*s {
+		return true
+	}
+	if pre < 0.25*s {
+		return false
+	}
+	return math.Sqrt(pre) > bound
+}
+
+// PreLessEq reports Finish(pre) <= bound, the complement decision of
+// PreGreater with the same exactness guarantee.
+func (b Batch) PreLessEq(pre, bound float64) bool {
+	if b.kind != kindL2 {
+		return pre <= bound
+	}
+	if !(pre >= 0) {
+		return false // NaN pre
+	}
+	if math.IsInf(bound, 1) {
+		return true // sqrt(pre) is finite or +Inf, both <= +Inf
+	}
+	if bound != bound || bound < 0 {
+		return false
+	}
+	s := bound * bound
+	if s == 0 || math.IsInf(s, 1) {
+		return math.Sqrt(pre) <= bound
+	}
+	if pre > 4*s {
+		return false
+	}
+	if pre < 0.25*s {
+		return true
+	}
+	return math.Sqrt(pre) <= bound
+}
+
+// MinDistBatch computes the minimum distance (pre-distance for deferred
+// kernels) from query to every rectangle of c, into out[:c.Len()].
+func (b Batch) MinDistBatch(query geom.Rect, c *RectCols, out []float64) {
+	n := c.n
+	out = out[:n]
+	switch b.kind {
+	case kindGeneric:
+		rects := c.rects[:n]
+		for i := range out {
+			out[i] = b.m.MinDist(query, rects[i])
+		}
+		return
+	case kindLInf:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			qlo, qhi := query.Lo[d], query.Hi[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				delta := minDelta(qlo, qhi, lo[i], hi[i])
+				if delta > out[i] {
+					out[i] = delta
+				}
+			}
+		}
+		return
+	case kindL1:
+		if c.dims == 2 {
+			b.minDist2D(query, c, out, false)
+			return
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			qlo, qhi := query.Lo[d], query.Hi[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				out[i] += minDelta(qlo, qhi, lo[i], hi[i])
+			}
+		}
+		return
+	default: // kindL2, squared
+		if c.dims == 2 {
+			b.minDist2D(query, c, out, true)
+			return
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			qlo, qhi := query.Lo[d], query.Hi[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				delta := minDelta(qlo, qhi, lo[i], hi[i])
+				out[i] += delta * delta
+			}
+		}
+	}
+}
+
+// minDist2D is the unrolled two-dimensional L1/L2 MinDist kernel: one pass,
+// both axes per element, accumulators in registers.
+func (b Batch) minDist2D(query geom.Rect, c *RectCols, out []float64, squared bool) {
+	n := c.n
+	qlo0, qhi0 := query.Lo[0], query.Hi[0]
+	qlo1, qhi1 := query.Lo[1], query.Hi[1]
+	lo0, hi0 := c.lo[0][:n], c.hi[0][:n]
+	lo1, hi1 := c.lo[1][:n], c.hi[1][:n]
+	out = out[:n]
+	if squared {
+		for i := range out {
+			d0 := minDelta(qlo0, qhi0, lo0[i], hi0[i])
+			d1 := minDelta(qlo1, qhi1, lo1[i], hi1[i])
+			out[i] = d0*d0 + d1*d1
+		}
+		return
+	}
+	for i := range out {
+		d0 := minDelta(qlo0, qhi0, lo0[i], hi0[i])
+		d1 := minDelta(qlo1, qhi1, lo1[i], hi1[i])
+		out[i] = d0 + d1
+	}
+}
+
+// minDelta is the per-dimension MinDist gap between intervals [alo, ahi]
+// and [blo, bhi] — the exact branch shape of geom.lpMetric.MinDist, which
+// is symmetric in its operands bit for bit.
+func minDelta(alo, ahi, blo, bhi float64) float64 {
+	switch {
+	case ahi < blo:
+		return blo - ahi
+	case bhi < alo:
+		return alo - bhi
+	default:
+		return 0
+	}
+}
+
+// MaxDistBatch computes the maximum distance (pre-distance for deferred
+// kernels) from query to every rectangle of c, into out[:c.Len()].
+func (b Batch) MaxDistBatch(query geom.Rect, c *RectCols, out []float64) {
+	n := c.n
+	out = out[:n]
+	switch b.kind {
+	case kindGeneric:
+		rects := c.rects[:n]
+		for i := range out {
+			out[i] = b.m.MaxDist(query, rects[i])
+		}
+		return
+	case kindLInf:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			qlo, qhi := query.Lo[d], query.Hi[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				delta := maxDelta(qlo, qhi, lo[i], hi[i])
+				if delta > out[i] {
+					out[i] = delta
+				}
+			}
+		}
+		return
+	case kindL1:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			qlo, qhi := query.Lo[d], query.Hi[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				out[i] += maxDelta(qlo, qhi, lo[i], hi[i])
+			}
+		}
+		return
+	default: // kindL2, squared
+		if c.dims == 2 {
+			qlo0, qhi0 := query.Lo[0], query.Hi[0]
+			qlo1, qhi1 := query.Lo[1], query.Hi[1]
+			lo0, hi0 := c.lo[0][:n], c.hi[0][:n]
+			lo1, hi1 := c.lo[1][:n], c.hi[1][:n]
+			for i := range out {
+				d0 := maxDelta(qlo0, qhi0, lo0[i], hi0[i])
+				d1 := maxDelta(qlo1, qhi1, lo1[i], hi1[i])
+				out[i] = d0*d0 + d1*d1
+			}
+			return
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			qlo, qhi := query.Lo[d], query.Hi[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				delta := maxDelta(qlo, qhi, lo[i], hi[i])
+				out[i] += delta * delta
+			}
+		}
+	}
+}
+
+// maxDelta is the per-dimension MaxDist span — the exact expression of
+// geom.lpMetric.MaxDist (math.Max of the two absolute corner gaps), which
+// is symmetric in its operands.
+func maxDelta(alo, ahi, blo, bhi float64) float64 {
+	return math.Max(math.Abs(ahi-blo), math.Abs(bhi-alo))
+}
+
+// MinDistPRBatch computes the minimum point-to-rectangle distance
+// (pre-distance for deferred kernels) from p to every rectangle of c, into
+// out[:c.Len()].
+func (b Batch) MinDistPRBatch(p geom.Point, c *RectCols, out []float64) {
+	n := c.n
+	out = out[:n]
+	switch b.kind {
+	case kindGeneric:
+		rects := c.rects[:n]
+		for i := range out {
+			out[i] = b.m.MinDistPR(p, rects[i])
+		}
+		return
+	case kindLInf:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			q := p[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				delta := prDelta(q, lo[i], hi[i])
+				if delta > out[i] {
+					out[i] = delta
+				}
+			}
+		}
+		return
+	case kindL1:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			q := p[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				out[i] += prDelta(q, lo[i], hi[i])
+			}
+		}
+		return
+	default: // kindL2, squared
+		if c.dims == 2 {
+			q0, q1 := p[0], p[1]
+			lo0, hi0 := c.lo[0][:n], c.hi[0][:n]
+			lo1, hi1 := c.lo[1][:n], c.hi[1][:n]
+			for i := range out {
+				d0 := prDelta(q0, lo0[i], hi0[i])
+				d1 := prDelta(q1, lo1[i], hi1[i])
+				out[i] = d0*d0 + d1*d1
+			}
+			return
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			q := p[d]
+			lo, hi := c.lo[d][:n], c.hi[d][:n]
+			for i := range out {
+				delta := prDelta(q, lo[i], hi[i])
+				out[i] += delta * delta
+			}
+		}
+	}
+}
+
+// prDelta is the per-dimension point-to-interval gap — the exact branch
+// shape of geom.lpMetric.MinDistPR.
+func prDelta(p, lo, hi float64) float64 {
+	switch {
+	case p < lo:
+		return lo - p
+	case p > hi:
+		return p - hi
+	default:
+		return 0
+	}
+}
+
+// DistBatch computes the point-to-point distance (pre-distance for deferred
+// kernels) from p to every point of c, into out[:c.Len()].
+func (b Batch) DistBatch(p geom.Point, c *PointCols, out []float64) {
+	n := c.n
+	out = out[:n]
+	switch b.kind {
+	case kindGeneric:
+		pts := c.pts[:n]
+		for i := range out {
+			out[i] = b.m.Dist(p, pts[i])
+		}
+		return
+	case kindLInf:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			q := p[d]
+			col := c.col[d][:n]
+			for i := range out {
+				delta := math.Abs(q - col[i])
+				if delta > out[i] {
+					out[i] = delta
+				}
+			}
+		}
+		return
+	case kindL1:
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			q := p[d]
+			col := c.col[d][:n]
+			for i := range out {
+				out[i] += math.Abs(q - col[i])
+			}
+		}
+		return
+	default: // kindL2, squared
+		if c.dims == 2 {
+			q0, q1 := p[0], p[1]
+			col0, col1 := c.col[0][:n], c.col[1][:n]
+			for i := range out {
+				d0 := math.Abs(q0 - col0[i])
+				d1 := math.Abs(q1 - col1[i])
+				out[i] = d0*d0 + d1*d1
+			}
+			return
+		}
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.dims; d++ {
+			q := p[d]
+			col := c.col[d][:n]
+			for i := range out {
+				delta := math.Abs(q - col[i])
+				out[i] += delta * delta
+			}
+		}
+	}
+}

@@ -55,6 +55,13 @@ type Metric interface {
 type lpMetric struct {
 	name string
 	p    float64 // 1, 2 or +Inf
+	// invP caches 1/p for the general-p aggregation, hoisting the division
+	// out of the per-call path; ip is p when p is a small integer, enabling
+	// the repeated-multiply power instead of math.Pow per dimension. Both
+	// are zero for the canonical p ∈ {1, 2, ∞} metrics, which never reach
+	// the general branch.
+	invP float64
+	ip   int
 }
 
 var (
@@ -82,7 +89,11 @@ func Lp(p float64) Metric {
 	case math.IsInf(p, 1):
 		return Chessboard
 	}
-	return lpMetric{name: fmt.Sprintf("l%g", p), p: p}
+	m := lpMetric{name: fmt.Sprintf("l%g", p), p: p, invP: 1 / p}
+	if p == math.Trunc(p) && p <= 64 {
+		m.ip = int(p)
+	}
+	return m
 }
 
 // MetricByName returns the metric with the given Name, or nil if unknown.
@@ -126,11 +137,44 @@ func (m lpMetric) aggregate(deltas func(i int) float64, dim int) float64 {
 		return math.Sqrt(sum)
 	default:
 		sum := 0.0
-		for i := 0; i < dim; i++ {
-			sum += math.Pow(deltas(i), m.p)
+		if m.ip > 0 {
+			// Integer p: repeated multiply replaces math.Pow per dimension.
+			// ipow mirrors math.Pow's binary-exponentiation multiply order,
+			// so the sums (and hence the distances) are unchanged bit for
+			// bit within the normal floating-point range.
+			for i := 0; i < dim; i++ {
+				sum += ipow(deltas(i), m.ip)
+			}
+		} else {
+			for i := 0; i < dim; i++ {
+				sum += math.Pow(deltas(i), m.p)
+			}
 		}
-		return math.Pow(sum, 1/m.p)
+		inv := m.invP
+		if inv == 0 {
+			// A hand-built lpMetric literal (not constructed via Lp) has no
+			// cached reciprocal.
+			inv = 1 / m.p
+		}
+		return math.Pow(sum, inv)
 	}
+}
+
+// ipow computes x**n for n >= 1 by binary exponentiation, multiplying in
+// the same order math.Pow does for integer exponents: for inputs whose
+// intermediate powers stay within the normal range the result is bitwise
+// identical to math.Pow(x, float64(n)).
+func ipow(x float64, n int) float64 {
+	x1, xi := 1.0, x
+	for i := n; i != 0; i >>= 1 {
+		if i&1 == 1 {
+			x1 *= xi
+		}
+		if i > 1 {
+			xi *= xi
+		}
+	}
+	return x1
 }
 
 func (m lpMetric) Dist(p, q Point) float64 {

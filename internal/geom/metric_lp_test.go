@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oldGeneralAggregate is the pre-optimization general-p fold: math.Pow per
+// dimension and a fresh 1/p reciprocal per call. The optimized path
+// (repeated multiply for integer p, hoisted reciprocal) must agree with it
+// bit for bit on normal-range inputs.
+func oldGeneralAggregate(p float64, deltas []float64) float64 {
+	sum := 0.0
+	for _, d := range deltas {
+		sum += math.Pow(d, p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+// TestGeneralLpAgreesWithOldPath is the property test for the general-p
+// optimization: random delta vectors through every distance function of
+// integer and fractional Lp metrics match the old aggregation exactly.
+func TestGeneralLpAgreesWithOldPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	for _, p := range []float64{3, 4, 5, 7, 11, 2.5, 3.75} {
+		m := Lp(p)
+		for trial := 0; trial < 5000; trial++ {
+			dims := 1 + rng.Intn(6)
+			a := make(Point, dims)
+			b := make(Point, dims)
+			for d := 0; d < dims; d++ {
+				// Magnitudes spanning 1e-20..1e+20: p <= 11 keeps the
+				// per-dimension powers within the normal float range.
+				scale := math.Exp(rng.Float64()*92 - 46)
+				a[d] = (rng.Float64()*2 - 1) * scale
+				b[d] = (rng.Float64()*2 - 1) * scale
+			}
+			deltas := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				deltas[d] = math.Abs(a[d] - b[d])
+			}
+			got := m.Dist(a, b)
+			want := oldGeneralAggregate(p, deltas)
+			if got != want {
+				t.Fatalf("Lp(%g).Dist(%v, %v) = %v, old path %v", p, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestGeneralLpRectDistances pins the rectangle functions of an integer-p
+// metric against the old aggregation via their per-dimension deltas.
+func TestGeneralLpRectDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := Lp(3)
+	for trial := 0; trial < 2000; trial++ {
+		mk := func() Rect {
+			lo := Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+			return Rect{Lo: lo, Hi: Point{lo[0] + rng.Float64()*20, lo[1] + rng.Float64()*20}}
+		}
+		a, b := mk(), mk()
+		minDeltas := make([]float64, 2)
+		maxDeltas := make([]float64, 2)
+		for d := 0; d < 2; d++ {
+			switch {
+			case a.Hi[d] < b.Lo[d]:
+				minDeltas[d] = b.Lo[d] - a.Hi[d]
+			case b.Hi[d] < a.Lo[d]:
+				minDeltas[d] = a.Lo[d] - b.Hi[d]
+			}
+			maxDeltas[d] = math.Max(math.Abs(a.Hi[d]-b.Lo[d]), math.Abs(b.Hi[d]-a.Lo[d]))
+		}
+		if got, want := m.MinDist(a, b), oldGeneralAggregate(3, minDeltas); got != want {
+			t.Fatalf("Lp(3).MinDist = %v, old path %v", got, want)
+		}
+		if got, want := m.MaxDist(a, b), oldGeneralAggregate(3, maxDeltas); got != want {
+			t.Fatalf("Lp(3).MaxDist = %v, old path %v", got, want)
+		}
+	}
+}
+
+// TestIpowMatchesPow pins ipow against math.Pow across exponents and
+// normal-range magnitudes, including the 0, -0, Inf and NaN corners.
+func TestIpowMatchesPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 31, 64} {
+		for trial := 0; trial < 2000; trial++ {
+			x := math.Exp(rng.Float64()*8 - 4) // keeps x**64 in range
+			if got, want := ipow(x, n), math.Pow(x, float64(n)); got != want {
+				t.Fatalf("ipow(%v, %d) = %v, math.Pow %v", x, n, got, want)
+			}
+		}
+		for _, x := range []float64{0, math.Copysign(0, -1), 1, math.Inf(1), math.NaN()} {
+			got, want := ipow(x, n), math.Pow(x, float64(n))
+			if !(got == want || (math.IsNaN(got) && math.IsNaN(want)) ||
+				(got == 0 && want == 0 && math.Signbit(got) == math.Signbit(want))) {
+				t.Fatalf("ipow(%v, %d) = %v, math.Pow %v", x, n, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkGeneralLpDist measures the integer-p fast path (compare with
+// the non-integer p, which still pays math.Pow per dimension).
+func BenchmarkGeneralLpDist(b *testing.B) {
+	a := Point{1.5, -2.25, 3.125, 0.5}
+	q := Point{-0.5, 1.75, 2.0, -4.5}
+	for _, p := range []float64{3, 2.5} {
+		m := Lp(p)
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.Dist(a, q)
+			}
+		})
+	}
+}

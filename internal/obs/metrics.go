@@ -22,6 +22,7 @@ func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
 	writeCounter(w, "distjoin_pairs_delivered_total", "Result pairs delivered to the caller, in distance order.", s.Delivered)
 	writeCounter(w, "distjoin_pairs_emitted_total", "Result pairs emitted by engines (per-partition, pre-merge on the parallel path).", s.Emitted)
 	writeCounter(w, "distjoin_expansions_total", "Node-pair expansions across all engines.", s.Expansions)
+	writeCounter(w, "distjoin_batch_prune_total", "Candidate pairs skipped by the plane-sweep/block prune before any distance computation.", s.BatchPruned)
 	writeCounter(w, "distjoin_queue_spilled_pairs_total", "Pairs spilled to the hybrid priority queue's disk tier.", s.SpilledPairs)
 	writeCounter(w, "distjoin_merge_stalls_total", "Times the parallel merge blocked waiting on a partition stream.", s.MergeStalls)
 	writeCounter(w, "distjoin_restarts_total", "Engine restarts after an over-tight estimated maximum distance.", s.Restarts)

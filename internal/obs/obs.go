@@ -131,6 +131,7 @@ type Recorder struct {
 	delivered    atomic.Int64
 	emits        atomic.Int64
 	expands      atomic.Int64
+	batchPruned  atomic.Int64
 	spilledPairs atomic.Int64
 	stalls       atomic.Int64
 	restarts     atomic.Int64
@@ -248,6 +249,16 @@ func (r *Recorder) Expand(part int32, dist float64) {
 	if n%r.expandEvery == 0 {
 		r.record(Event{T: time.Since(r.epoch), Type: EvExpand, Part: part, Dist: dist, N: n})
 	}
+}
+
+// BatchPrune records n candidate pairs skipped by the batched expansion's
+// plane-sweep/block prune before any distance computation. Counter-only:
+// prunes are far too frequent for per-event tracing.
+func (r *Recorder) BatchPrune(n int64) {
+	if r == nil {
+		return
+	}
+	r.batchPruned.Add(n)
 }
 
 // Emit records one result pair produced by an engine: the pop-to-emit
@@ -416,6 +427,7 @@ type Snapshot struct {
 	Delivered      int64             `json:"pairs_delivered"`
 	Emitted        int64             `json:"pairs_emitted"`
 	Expansions     int64             `json:"expansions"`
+	BatchPruned    int64             `json:"batch_pruned"`
 	SpilledPairs   int64             `json:"queue_spilled_pairs"`
 	MergeStalls    int64             `json:"merge_stalls"`
 	Restarts       int64             `json:"restarts"`
@@ -454,6 +466,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		Delivered:      r.delivered.Load(),
 		Emitted:        r.emits.Load(),
 		Expansions:     r.expands.Load(),
+		BatchPruned:    r.batchPruned.Load(),
 		SpilledPairs:   r.spilledPairs.Load(),
 		MergeStalls:    r.stalls.Load(),
 		Restarts:       r.restarts.Load(),

@@ -68,6 +68,10 @@ type Counters struct {
 	QueueWrites    int64 `json:"queue_writes"`
 	PairsReported  int64 `json:"pairs_reported"`
 	Filtered       int64 `json:"filtered"`
+	// BatchPruned counts pairs skipped by the batched expansion's
+	// plane-sweep/block prune before any distance computation. Additive to
+	// schema 1: absent in older files, decoded as zero.
+	BatchPruned int64 `json:"batch_pruned"`
 }
 
 // QuantileStat summarizes one latency histogram.

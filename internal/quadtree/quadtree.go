@@ -96,6 +96,18 @@ func (t *Tree) Bounds() geom.Rect { return t.cfg.Bounds }
 // MaxDepth returns the configured subdivision cap.
 func (t *Tree) MaxDepth() int { return t.cfg.MaxDepth }
 
+// MaxFanout returns the expected maximum node fan-out: internal nodes hold
+// 2^dims children, leaves BucketSize points. Leaves at the depth cap may
+// exceed BucketSize; callers use the value as a buffer pre-sizing hint, not
+// a bound.
+func (t *Tree) MaxFanout() int {
+	f := 1 << t.dims
+	if t.cfg.BucketSize > f {
+		f = t.cfg.BucketSize
+	}
+	return f
+}
+
 // Insert adds a point. Points outside the world bounds are rejected.
 func (t *Tree) Insert(p geom.Point, id uint64) error {
 	if p.Dim() != t.dims {

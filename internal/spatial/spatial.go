@@ -41,6 +41,18 @@ type Index interface {
 	MinObjectsUnder(level int) int
 }
 
+// Fanout is an optional Index extension reporting the maximum node
+// fan-out, used by the join engine to pre-size its per-expansion scratch
+// buffers at construction so first expansions do not grow them mid-join.
+// The value is a sizing hint, not an invariant: a structure whose nodes can
+// occasionally exceed it (a quadtree leaf at the depth cap) still works,
+// the scratch just grows once.
+type Fanout interface {
+	// MaxFanout returns the largest number of entries (children or
+	// objects) a node is expected to hold, or 0 when unknown.
+	MaxFanout() int
+}
+
 // NodeRef is a child pointer: an opaque reference plus the level and
 // bounding region of the referenced node.
 type NodeRef struct {
@@ -118,6 +130,10 @@ func (ix rtreeIndex) Node(ref uint64) (*IndexNode, error) {
 
 func (ix rtreeIndex) MinObjectsUnder(level int) int { return ix.t.MinObjectsUnder(level) }
 
+// MaxFanout implements the optional Fanout extension: R-tree nodes hold at
+// most MaxEntries entries.
+func (ix rtreeIndex) MaxFanout() int { return ix.t.MaxEntries() }
+
 // quadIndex adapts a bucket PR quadtree to SpatialIndex. Quadtrees are
 // unbalanced: leaves sit at varying depths, which the engine's levels
 // accommodate by numbering from the deepest possible leaf upward
@@ -172,3 +188,9 @@ func (ix quadIndex) Node(ref uint64) (*IndexNode, error) {
 // the §2.2.4 estimation can only count one guaranteed object per node (the
 // restart path recovers from the residual optimism).
 func (ix quadIndex) MinObjectsUnder(int) int { return 1 }
+
+// MaxFanout implements the optional Fanout extension with the quadtree's
+// sizing hint: internal nodes hold 2^dims children and leaves BucketSize
+// points (leaves at the depth cap may exceed it; the hint remains valid
+// as a pre-sizing estimate).
+func (ix quadIndex) MaxFanout() int { return ix.t.MaxFanout() }

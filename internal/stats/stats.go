@@ -59,6 +59,11 @@ type Counters struct {
 	// Filtered counts pairs discarded by semi-join filtering or distance
 	// range pruning before reaching the queue.
 	Filtered int64
+	// BatchPruned counts candidate pairs skipped by the plane-sweep /
+	// block prune of the batched simultaneous expansion before any
+	// distance computation — pairs that never cost a distance calculation
+	// nor appear in Filtered.
+	BatchPruned int64
 	// IOFaults counts failed physical I/O attempts observed by the retry
 	// layer, including transient failures later recovered by a retry.
 	IOFaults int64
@@ -158,6 +163,14 @@ func (c *Counters) Filter(n int64) {
 	}
 }
 
+// AddBatchPruned records n pairs skipped by the sweep/block prune before
+// any distance computation.
+func (c *Counters) AddBatchPruned(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.BatchPruned, n)
+	}
+}
+
 // AddIOFault records n failed physical I/O attempts.
 func (c *Counters) AddIOFault(n int64) {
 	if c != nil {
@@ -201,6 +214,7 @@ func (c *Counters) Snapshot() Counters {
 		QueueWrites:    atomic.LoadInt64(&c.QueueWrites),
 		PairsReported:  atomic.LoadInt64(&c.PairsReported),
 		Filtered:       atomic.LoadInt64(&c.Filtered),
+		BatchPruned:    atomic.LoadInt64(&c.BatchPruned),
 		IOFaults:       atomic.LoadInt64(&c.IOFaults),
 		IORetries:      atomic.LoadInt64(&c.IORetries),
 	}
@@ -230,6 +244,7 @@ func (c *Counters) Merge(other *Counters) {
 	atomic.AddInt64(&c.QueueWrites, o.QueueWrites)
 	atomic.AddInt64(&c.PairsReported, o.PairsReported)
 	atomic.AddInt64(&c.Filtered, o.Filtered)
+	atomic.AddInt64(&c.BatchPruned, o.BatchPruned)
 	atomic.AddInt64(&c.IOFaults, o.IOFaults)
 	atomic.AddInt64(&c.IORetries, o.IORetries)
 }

@@ -171,6 +171,7 @@ func profileCounters(c *Stats) profile.Counters {
 		QueueWrites:    s.QueueWrites,
 		PairsReported:  s.PairsReported,
 		Filtered:       s.Filtered,
+		BatchPruned:    s.BatchPruned,
 	}
 }
 
