@@ -393,6 +393,55 @@ func BenchmarkJoinObs(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinQTrace compares the join with per-query tracing disabled
+// (nil Tracer — must match the plain path) and enabled (flight recorder +
+// slow-query log into io.Discard), guarding the tentpole's ≤10% overhead
+// criterion on the traced path and the zero-cost contract on the disabled
+// one.
+func BenchmarkJoinQTrace(b *testing.B) {
+	d := loadBench(b)
+	const k = 10_000
+	for _, enabled := range []bool{false, true} {
+		name := "Disabled"
+		if enabled {
+			name = "Enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tracer *distjoin.QueryTracer
+			if enabled {
+				tracer = distjoin.NewQueryTracer(distjoin.QueryTraceConfig{SlowLog: io.Discard})
+			}
+			for i := 0; i < b.N; i++ {
+				j, err := idistjoin.NewJoin(d.Water, d.Roads, idistjoin.Options{
+					MaxPairs: k,
+					Tracer:   tracer,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					_, ok, err := j.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+				if n != k {
+					b.Fatalf("drained %d pairs, want %d", n, k)
+				}
+				j.Close()
+			}
+			if err := tracer.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestNilRecorderZeroAllocs is the benchmark guard's hard assertion: the
 // nil-Recorder hooks the engine calls per emitted pair must allocate
 // nothing (and the whole per-pair iterator path must not regress above its

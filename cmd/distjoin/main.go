@@ -9,6 +9,8 @@
 //	         [-queue memory|hybrid] [-queue-dt d] [-retries n] [-retry-backoff 1ms]
 //	         [-stats] [-stats-json] [-trace file] [-metrics-addr :8090]
 //	         [-progress] [-linger 30s] [-explain] [-explain-json]
+//	         [-flightrec n] [-slowlog file] [-slow-wall d] [-slow-nodeio n]
+//	         [-slow-distcalcs n] [-query-id id]
 //	         [-cpuprofile f] [-memprofile f]
 //
 // Pairs stream out closest-first as they are found — pipe through `head`
@@ -23,6 +25,15 @@
 // stdout after the pair stream. -linger keeps the metrics endpoint up for
 // the given duration after the join completes, so short runs can still be
 // scraped.
+//
+// Query tracing: -flightrec keeps the last n completed query traces in an
+// in-memory flight recorder — served as JSON at /debug/queries (and
+// /debug/queries/<id>) when -metrics-addr is set, dumped to stderr
+// otherwise. -slowlog appends the full span tree of slow queries to a
+// JSONL file; -slow-wall, -slow-nodeio and -slow-distcalcs set the
+// thresholds (no thresholds = every query is logged). -query-id names the
+// run's trace; otherwise the tracer assigns a sequential ID. See DESIGN.md
+// §12 for the trace schema and the metric/span/event reference.
 //
 // Profiling: -explain prints an EXPLAIN ANALYZE table on stderr when the
 // run finishes — wall time attributed to engine phases, delay percentiles,
@@ -70,6 +81,12 @@ type cliOptions struct {
 	explainJSON  bool
 	cpuProfile   string
 	memProfile   string
+	flightRec    int
+	slowLogPath  string
+	slowWall     time.Duration
+	slowNodeIO   int64
+	slowDist     int64
+	queryID      string
 }
 
 func main() {
@@ -98,6 +115,12 @@ func main() {
 	flag.BoolVar(&o.explainJSON, "explain-json", false, "print the query profile as JSON on stdout after the pairs")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	flag.IntVar(&o.flightRec, "flightrec", 0, "enable per-query tracing with a flight recorder of this many traces (served at /debug/queries with -metrics-addr, dumped to stderr otherwise)")
+	flag.StringVar(&o.slowLogPath, "slowlog", "", "write slow-query traces to this file as JSONL (enables per-query tracing)")
+	flag.DurationVar(&o.slowWall, "slow-wall", 0, "slow-log queries whose wall time reaches this threshold (0 with no other threshold = log every query)")
+	flag.Int64Var(&o.slowNodeIO, "slow-nodeio", 0, "slow-log queries whose node I/O count reaches this threshold")
+	flag.Int64Var(&o.slowDist, "slow-distcalcs", 0, "slow-log queries whose distance-computation count reaches this threshold")
+	flag.StringVar(&o.queryID, "query-id", "", "query ID for this run's trace (default: tracer-assigned)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -188,8 +211,36 @@ func run(o cliOptions) error {
 	a.SetObserver(rec, c)
 	b.SetObserver(rec, c)
 
+	// Per-query tracing: a flight recorder, slow-query log, or explicit
+	// query ID all enable the tracer. The slow-log file is closed after the
+	// tracer flushes into it (defers run last-in first-out).
+	var tracer *distjoin.QueryTracer
+	if o.flightRec > 0 || o.slowLogPath != "" || o.queryID != "" ||
+		o.slowWall > 0 || o.slowNodeIO > 0 || o.slowDist > 0 {
+		cfg := distjoin.QueryTraceConfig{
+			FlightSize:    o.flightRec,
+			SlowWall:      o.slowWall,
+			SlowNodeIO:    o.slowNodeIO,
+			SlowDistCalcs: o.slowDist,
+		}
+		if o.slowLogPath != "" {
+			slowFile, err := os.Create(o.slowLogPath)
+			if err != nil {
+				return err
+			}
+			defer slowFile.Close()
+			cfg.SlowLog = slowFile
+		}
+		tracer = distjoin.NewQueryTracer(cfg)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "distjoin: slow-query log:", err)
+			}
+		}()
+	}
+
 	if o.metricsAddr != "" {
-		srv, err := distjoin.ServeMetrics(o.metricsAddr, rec, c)
+		srv, err := distjoin.ServeMetricsTraced(o.metricsAddr, rec, c, tracer)
 		if err != nil {
 			return err
 		}
@@ -209,6 +260,8 @@ func run(o cliOptions) error {
 		Parallelism: o.parallel,
 		Counters:    c,
 		Obs:         rec,
+		Tracer:      tracer,
+		QueryID:     o.queryID,
 	}
 	switch o.queueName {
 	case "", "memory":
@@ -270,6 +323,17 @@ func run(o cliOptions) error {
 	}
 	if err := rec.Close(); err != nil {
 		return fmt.Errorf("flushing trace: %w", err)
+	}
+	// With a flight recorder but no metrics endpoint to curl, dump the
+	// run's trace to stderr so it is not lost with the process.
+	if tracer != nil && o.flightRec > 0 && o.metricsAddr == "" {
+		if traces := tracer.Traces(); len(traces) > 0 {
+			enc, err := json.MarshalIndent(traces[0], "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "%s\n", enc)
+		}
 	}
 	if pf != nil {
 		rows, err := distjoin.BuildExplain(a, b, distjoin.ExplainConfig{

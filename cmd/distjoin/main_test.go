@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"distjoin"
 )
@@ -227,5 +228,68 @@ func TestRunParallelWithObservability(t *testing.T) {
 	}
 	if emits < 25 {
 		t.Errorf("trace has %d partition emit events, want >= 25", emits)
+	}
+}
+
+// TestRunQueryTracing drives the per-query tracing flags: -slowlog captures
+// the run as a JSONL trace, and -flightrec (without a metrics endpoint)
+// dumps the trace to stderr.
+func TestRunQueryTracing(t *testing.T) {
+	a := writeCSV(t, 21, 40)
+	b := writeCSV(t, 22, 50)
+	slow := filepath.Join(t.TempDir(), "slow.jsonl")
+	out, err := captureStdout(t, func() error {
+		return run(cliOptions{
+			fileA: a, fileB: b, k: 10, metricName: "euclidean",
+			flightRec: 4, slowLogPath: slow, queryID: "cli-test",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countLines(out) != 10 {
+		t.Fatalf("pair lines = %d, want 10", countLines(out))
+	}
+	raw, err := os.ReadFile(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("slow log has %d lines, want 1", len(lines))
+	}
+	var qt distjoin.QueryTrace
+	if err := json.Unmarshal([]byte(lines[0]), &qt); err != nil {
+		t.Fatalf("slow log line is not a trace: %v", err)
+	}
+	if qt.ID != "cli-test" || qt.Kind != "join" || qt.Resources.Pairs != 10 {
+		t.Fatalf("trace = id %q kind %q pairs %d", qt.ID, qt.Kind, qt.Resources.Pairs)
+	}
+	if qt.Coverage < 0.5 {
+		t.Errorf("coverage = %v, suspiciously low for a sequential run", qt.Coverage)
+	}
+}
+
+// TestRunSlowLogThreshold: a threshold no tiny run can reach keeps the log
+// empty.
+func TestRunSlowLogThreshold(t *testing.T) {
+	a := writeCSV(t, 23, 20)
+	b := writeCSV(t, 24, 20)
+	slow := filepath.Join(t.TempDir(), "slow.jsonl")
+	_, err := captureStdout(t, func() error {
+		return run(cliOptions{
+			fileA: a, fileB: b, k: 5, metricName: "euclidean",
+			slowLogPath: slow, slowWall: time.Hour,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(raw)) != "" {
+		t.Fatalf("slow log not empty under 1h wall threshold: %q", raw)
 	}
 }

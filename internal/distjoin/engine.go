@@ -13,6 +13,7 @@ import (
 	"distjoin/internal/pager"
 	"distjoin/internal/pqueue"
 	"distjoin/internal/profile"
+	"distjoin/internal/qtrace"
 	"distjoin/internal/rtree"
 	"distjoin/internal/spatial"
 )
@@ -108,6 +109,14 @@ type engine struct {
 	// the parallel path merges worker shards like stats shards.
 	sp *profile.Spans
 
+	// qw is this engine's slice of the per-query trace (nil when tracing
+	// is off). When set, sp points at the worker's own span accumulator —
+	// satisfying the single-writer constraint above — and close merges it
+	// back into userSP, the caller's Options.Profile, so the Profiler's
+	// numbers are unchanged by tracing.
+	qw     *qtrace.Worker
+	userSP *profile.Spans
+
 	reported  int
 	skip      int  // results to silently re-skip after a restart
 	restarted bool // the §2.2.4 restart has been used
@@ -144,6 +153,16 @@ func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [
 		sp:           opts.Profile,
 		kern:         kernel.For(opts.Metric),
 		scalarExpand: opts.NoBatchKernels,
+	}
+	// Per-query tracing: record spans into the query's per-worker
+	// accumulator instead of the caller's Spans (single-writer — the
+	// delta-subtraction brackets read sp around nested calls), merging
+	// back on close. Must happen before makeQueue so the hybrid queue and
+	// its pager I/O timer observe the same accumulator.
+	if q := opts.query; q != nil {
+		e.qw = q.StartWorker(part)
+		e.userSP = opts.Profile
+		e.sp = e.qw.Spans()
 	}
 	// Pre-size the expansion scratch (row items, columnar mirror, kernel
 	// outputs) from the trees' max fan-out so first expansions do not grow
@@ -1201,5 +1220,9 @@ func (e *engine) close() error {
 	}
 	e.closed = true
 	e.obs.EngineStop(e.part, int64(e.reported))
+	if e.qw != nil {
+		e.qw.Done(int64(e.reported), e.restarted)
+		e.userSP.Merge(e.sp)
+	}
 	return e.q.Close()
 }

@@ -3,6 +3,7 @@ package distjoin
 import (
 	"errors"
 
+	"distjoin/internal/qtrace"
 	"distjoin/internal/rtree"
 )
 
@@ -24,15 +25,50 @@ func (e *engine) queueLen() int             { return e.q.Len() }
 func (e *engine) effectiveMaxDist() float64 { return e.dmaxCur }
 func (e *engine) didRestart() bool          { return e.restarted }
 
+// queryKind names the operation for the query trace.
+func queryKind(semi *semiState) string {
+	switch {
+	case semi == nil:
+		return "join"
+	case semi.symmetric:
+		return "clustering"
+	case semi.k > 1:
+		return "knn"
+	}
+	return "semijoin"
+}
+
 // newRunner validates the options and picks the execution strategy. The
 // parallel path is chosen when the effective parallelism exceeds one, the
 // configuration is parallelizable (see parallelizable), both inputs are
 // non-empty, and the trees have enough top-level fan-out to partition;
 // every other case falls back to the sequential engine, transparently.
-func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, error) {
+//
+// When Options.Tracer is set, newRunner also begins the per-query trace:
+// everything up to the engines being ready to pop (validation, partition
+// planning, queue construction, seeding) is the trace's plan span, and a
+// constructor failure finishes the trace immediately, error-annotated. On
+// success the returned query is finished by the iterator's Close.
+func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, *qtrace.Query, error) {
 	if err := opts.validate(t1, t2, semi != nil); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	q := opts.Tracer.Begin(queryKind(semi), opts.QueryID)
+	opts.query = q
+	opts.Counters = q.AttachCounters(opts.Counters)
+	planStart := q.Now()
+	r, err := buildRunner(t1, t2, opts, semi)
+	if err != nil {
+		q.PlanDone(planStart)
+		q.Finish(err)
+		return nil, nil, err
+	}
+	q.PlanDone(planStart)
+	return r, q, nil
+}
+
+// buildRunner constructs the execution strategy on validated options.
+func buildRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, error) {
 	if parallelizable(&opts, semi) && t1.NumObjects() > 0 && t2.NumObjects() > 0 {
 		r, err := newParallelJoin(t1, t2, opts, semi)
 		if err != nil {
@@ -56,6 +92,7 @@ var ErrIteratorClosed = errors.New("distjoin: iterator is closed")
 // truncated success.
 type iterState struct {
 	r      runner
+	q      *qtrace.Query // nil unless Options.Tracer was set
 	err    error
 	closed bool
 }
@@ -84,6 +121,10 @@ func (s *iterState) close() error {
 	if err != nil && s.err == nil {
 		s.err = err
 	}
+	// The runner has released every engine, so the per-worker span
+	// accumulators are quiescent: complete the query trace with the
+	// latched terminal error (nil on a clean close).
+	s.q.Finish(s.err)
 	return err
 }
 
@@ -112,11 +153,11 @@ func NewJoin(t1, t2 *rtree.Tree, opts Options) (*Join, error) {
 // generality claim (§2.2): the same algorithm drives R-trees, quadtrees and
 // other hierarchical decompositions, in any combination.
 func NewJoinIndexes(t1, t2 SpatialIndex, opts Options) (*Join, error) {
-	r, err := newRunner(t1, t2, opts, nil)
+	r, q, err := newRunner(t1, t2, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Join{s: iterState{r: r}}, nil
+	return &Join{s: iterState{r: r, q: q}}, nil
 }
 
 // wrapTree adapts an R-tree, preserving nil for validation.
@@ -209,11 +250,11 @@ func NewClusteringJoinIndexes(t1, t2 SpatialIndex, filter SemiFilter, opts Optio
 	if filter < FilterOutside || filter > FilterGlobalAll {
 		return nil, errInvalidFilter(filter)
 	}
-	r, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
+	r, q, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{s: iterState{r: r}}, nil
+	return &SemiJoin{s: iterState{r: r, q: q}}, nil
 }
 
 // NewKNearestJoinIndexes is NewKNearestJoin over arbitrary SpatialIndex
@@ -226,11 +267,11 @@ func NewKNearestJoinIndexes(t1, t2 SpatialIndex, k int, filter SemiFilter, opts 
 	if k < 1 {
 		return nil, errors.New("distjoin: k must be at least 1")
 	}
-	r, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: k})
+	r, q, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: k})
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{s: iterState{r: r}}, nil
+	return &SemiJoin{s: iterState{r: r, q: q}}, nil
 }
 
 // Next returns the next semi-join pair. ok is false when every first-input

@@ -9,6 +9,7 @@ import (
 	"distjoin/internal/obs"
 	"distjoin/internal/pager"
 	"distjoin/internal/profile"
+	"distjoin/internal/qtrace"
 	"distjoin/internal/rtree"
 	"distjoin/internal/stats"
 )
@@ -222,6 +223,23 @@ type Options struct {
 	// tier (default 4096). Larger pages batch more spilled pairs per I/O;
 	// smaller pages waste less memory on many near-empty partitions.
 	QueuePageSize int
+	// Tracer attaches per-query lifecycle tracing (see internal/qtrace):
+	// each Join/SemiJoin/kNN run gets a query ID and a hierarchical span
+	// tree (plan → partition workers → engine phases → queue disk-tier
+	// I/O), landed in the tracer's flight recorder — and slow-query log,
+	// when it qualifies — on iterator Close. Like Obs and Profile, a nil
+	// tracer disables all per-query tracing at zero cost (no clock reads,
+	// no allocations on the per-pair path). Tracing composes with Profile:
+	// the engines record into per-query span accumulators, merged back
+	// into Options.Profile as they close.
+	Tracer *qtrace.Tracer
+	// QueryID overrides the Tracer-assigned query ID ("q0000042") for this
+	// run. Ignored when Tracer is nil.
+	QueryID string
+
+	// query is the live per-query trace, begun by newRunner when Tracer is
+	// set and finished by the iterator's Close.
+	query *qtrace.Query
 }
 
 // ParallelismAuto selects one worker per available CPU

@@ -10,6 +10,7 @@ import (
 
 	"distjoin/internal/obs"
 	"distjoin/internal/profile"
+	"distjoin/internal/qtrace"
 	"distjoin/internal/stats"
 )
 
@@ -201,6 +202,7 @@ type parallelJoin struct {
 	user     *stats.Counters // caller's counters, merge target for shards
 	obs      *obs.Recorder   // observability; nil when disabled
 	sp       *profile.Spans  // caller's spans, merge target + PhaseMerge sink
+	q        *qtrace.Query   // per-query trace; nil when tracing is off
 
 	done     chan struct{} // closed to cancel workers
 	stop     sync.Once
@@ -236,6 +238,7 @@ func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*
 		user:     opts.Counters,
 		obs:      opts.Obs,
 		sp:       opts.Profile,
+		q:        opts.query,
 		done:     make(chan struct{}),
 	}
 	r.obs.SetPartitions(len(parts))
@@ -407,12 +410,14 @@ func (r *parallelJoin) pull(src int) error {
 // directly on the caller's Spans (a simple Add, safe alongside the workers'
 // concurrent shard merges).
 func (r *parallelJoin) next() (Pair, bool, error) {
-	if r.sp == nil {
+	if r.sp == nil && r.q == nil {
 		return r.merge()
 	}
 	start := time.Now()
 	p, ok, err := r.merge()
-	r.sp.Add(profile.PhaseMerge, time.Since(start))
+	d := time.Since(start)
+	r.sp.Add(profile.PhaseMerge, d)
+	r.q.MergeAdd(d)
 	return p, ok, err
 }
 

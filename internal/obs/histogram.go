@@ -51,10 +51,17 @@ func (h *Histogram) Mean() time.Duration {
 // Quantile returns an estimate of the q-quantile (0 < q <= 1): the midpoint
 // of the bucket containing the q-th observation. The estimate is therefore
 // accurate to within a factor of ~1.5 — plenty for latency reporting.
+//
+// Degenerate inputs are safe: an empty histogram reports 0 for every
+// quantile (never a bucket midpoint or NaN), as do NaN and non-positive q;
+// q above 1 is clamped to the maximum observation's bucket.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.count.Load()
-	if total == 0 {
+	if total == 0 || math.IsNaN(q) || q <= 0 {
 		return 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := int64(math.Ceil(q * float64(total)))
 	if target < 1 {

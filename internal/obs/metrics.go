@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -8,16 +9,44 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"distjoin/internal/qtrace"
 	"distjoin/internal/stats"
 )
 
 // WriteMetrics writes the recorder's current state (and, when c is non-nil,
-// the run's stats.Counters) in Prometheus text exposition format.
+// the run's stats.Counters) in Prometheus text exposition format. It is
+// WriteMetricsTraced without per-query gauges.
 func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
+	WriteMetricsTraced(w, r, c, nil)
+}
+
+// WriteMetricsTraced is WriteMetrics plus, when qt is non-nil, the query
+// tracer's per-query resource gauges: one labeled sample per flight-recorder
+// trace, newest first, and the live count of running queries.
+func WriteMetricsTraced(w io.Writer, r *Recorder, c *stats.Counters, qt *qtrace.Tracer) {
+	if r != nil {
+		writeRecorderMetrics(w, r)
+	}
+	if c != nil {
+		cs := c.Snapshot()
+		writeCounter(w, "distjoin_stats_pairs_reported_total", "Pairs reported (stats.Counters).", cs.PairsReported)
+		writeCounter(w, "distjoin_stats_dist_calcs_total", "Distance computations (stats.Counters).", cs.DistCalcs)
+		writeCounter(w, "distjoin_stats_queue_inserts_total", "Priority-queue inserts (stats.Counters).", cs.QueueInserts)
+		writeCounter(w, "distjoin_stats_node_reads_total", "Index node reads (stats.Counters).", cs.NodeReads)
+		writeCounter(w, "distjoin_stats_buffer_hits_total", "Index node buffer hits (stats.Counters).", cs.BufferHits)
+		writeGauge(w, "distjoin_stats_max_queue_size", "High-water priority-queue size (stats.Counters).", float64(cs.MaxQueueSize))
+	}
+	if qt != nil {
+		writeQueryMetrics(w, qt)
+	}
+}
+
+func writeRecorderMetrics(w io.Writer, r *Recorder) {
 	s := r.Snapshot()
 	writeCounter(w, "distjoin_pairs_delivered_total", "Result pairs delivered to the caller, in distance order.", s.Delivered)
 	writeCounter(w, "distjoin_pairs_emitted_total", "Result pairs emitted by engines (per-partition, pre-merge on the parallel path).", s.Emitted)
@@ -43,15 +72,69 @@ func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
 	writeHistogram(w, "distjoin_pop_to_emit_seconds", "Latency from queue pop to result emission within one engine.", &r.popToEmit)
 	writeQuantiles(w, "distjoin_inter_pair_delay_quantiles_seconds", "Quantile estimates of the inter-pair delay (log2-bucket midpoints).", &r.interPair)
 	writeQuantiles(w, "distjoin_pop_to_emit_quantiles_seconds", "Quantile estimates of the pop-to-emit latency (log2-bucket midpoints).", &r.popToEmit)
-	if c != nil {
-		cs := c.Snapshot()
-		writeCounter(w, "distjoin_stats_pairs_reported_total", "Pairs reported (stats.Counters).", cs.PairsReported)
-		writeCounter(w, "distjoin_stats_dist_calcs_total", "Distance computations (stats.Counters).", cs.DistCalcs)
-		writeCounter(w, "distjoin_stats_queue_inserts_total", "Priority-queue inserts (stats.Counters).", cs.QueueInserts)
-		writeCounter(w, "distjoin_stats_node_reads_total", "Index node reads (stats.Counters).", cs.NodeReads)
-		writeCounter(w, "distjoin_stats_buffer_hits_total", "Index node buffer hits (stats.Counters).", cs.BufferHits)
-		writeGauge(w, "distjoin_stats_max_queue_size", "High-water priority-queue size (stats.Counters).", float64(cs.MaxQueueSize))
+}
+
+// writeQueryMetrics emits the per-query resource accounting of the query
+// tracer's flight recorder as labeled gauge families (gauges, not counters:
+// each sample is one completed query's total, and samples disappear when
+// their trace rotates out of the ring).
+func writeQueryMetrics(w io.Writer, qt *qtrace.Tracer) {
+	writeGauge(w, "distjoin_queries_active", "Queries begun but not yet finished.", float64(qt.Active()))
+	traces := qt.Traces()
+	if len(traces) == 0 {
+		return
 	}
+	type col struct {
+		name, help string
+		v          func(t *qtrace.QueryTrace) float64
+	}
+	cols := []col{
+		{"distjoin_query_wall_seconds", "Wall time of each flight-recorded query.", func(t *qtrace.QueryTrace) float64 { return t.WallSeconds }},
+		{"distjoin_query_phase_coverage", "Fraction of query wall time explained by the span tree.", func(t *qtrace.QueryTrace) float64 { return t.Coverage }},
+		{"distjoin_query_pairs_reported", "Result pairs the query delivered.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.Pairs) }},
+		{"distjoin_query_dist_calcs", "Object distance computations the query performed.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.DistCalcs) }},
+		{"distjoin_query_node_io", "Index node reads + writes the query performed.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.NodeIO) }},
+		{"distjoin_query_io_faults", "Queue-store I/O faults the query observed.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.IOFaults) }},
+		{"distjoin_query_io_retries", "Transient-fault retries the query performed.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.IORetries) }},
+		{"distjoin_query_batch_pruned", "Candidate pairs the query's plane-sweep/block prune skipped.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.BatchPruned) }},
+		{"distjoin_query_peak_queue_depth", "High-water priority-queue size during the query.", func(t *qtrace.QueryTrace) float64 { return float64(t.Resources.PeakQueueDepth) }},
+	}
+	for _, cl := range cols {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", cl.name, cl.help, cl.name)
+		for _, t := range traces {
+			fmt.Fprintf(w, "%s{query=%q,kind=%q} %g\n", cl.name, t.ID, t.Kind, cl.v(t))
+		}
+	}
+}
+
+// QueriesHandler serves the query tracer's flight recorder as JSON:
+//
+//	/debug/queries       all retained traces, newest first
+//	/debug/queries/<id>  one trace by query ID (404 when unknown)
+//
+// The handler expects to be mounted at prefix (e.g. "/debug/queries").
+func QueriesHandler(prefix string, qt *qtrace.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if qt == nil {
+			http.Error(w, "query tracing is not enabled", http.StatusNotFound)
+			return
+		}
+		rest := strings.Trim(strings.TrimPrefix(req.URL.Path, prefix), "/")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if rest == "" {
+			enc.Encode(qt.Traces())
+			return
+		}
+		t := qt.Trace(rest)
+		if t == nil {
+			w.Header().Del("Content-Type")
+			http.Error(w, "no such query trace: "+rest, http.StatusNotFound)
+			return
+		}
+		enc.Encode(t)
+	})
 }
 
 func writeCounter(w io.Writer, name, help string, v int64) {
@@ -95,9 +178,14 @@ func writeQuantiles(w io.Writer, name, help string, h *Histogram) {
 
 // Handler returns an http.Handler serving WriteMetrics output.
 func Handler(r *Recorder, c *stats.Counters) http.Handler {
+	return HandlerTraced(r, c, nil)
+}
+
+// HandlerTraced is Handler plus the query tracer's per-query gauges.
+func HandlerTraced(r *Recorder, c *stats.Counters, qt *qtrace.Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteMetrics(w, r, c)
+		WriteMetricsTraced(w, r, c, qt)
 	})
 }
 
@@ -120,15 +208,25 @@ func publishExpvar(r *Recorder) {
 
 // MetricsServer is a running metrics/pprof HTTP server.
 type MetricsServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	served chan struct{} // closed when the serve goroutine exits
+	closed atomic.Bool
 }
 
 // Addr returns the bound address (useful with ":0").
 func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *MetricsServer) Close() error { return s.srv.Close() }
+// Close shuts the server down and waits for its serve goroutine to exit.
+// Idempotent: the second and later calls are no-ops returning nil.
+func (s *MetricsServer) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.served
+	return err
+}
 
 // ServeMetrics binds addr and serves, in a background goroutine:
 //
@@ -139,20 +237,36 @@ func (s *MetricsServer) Close() error { return s.srv.Close() }
 // The default http mux is untouched; callers own the returned server's
 // lifetime.
 func ServeMetrics(addr string, r *Recorder, c *stats.Counters) (*MetricsServer, error) {
+	return ServeMetricsTraced(addr, r, c, nil)
+}
+
+// ServeMetricsTraced is ServeMetrics with per-query tracing attached: the
+// /metrics exposition gains the per-query gauges, and the query tracer's
+// flight recorder is served as JSON at
+//
+//	/debug/queries       all retained traces, newest first
+//	/debug/queries/<id>  one trace by query ID
+func ServeMetricsTraced(addr string, r *Recorder, c *stats.Counters, qt *qtrace.Tracer) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	publishExpvar(r)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(r, c))
+	mux.Handle("/metrics", HandlerTraced(r, c, qt))
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/queries", QueriesHandler("/debug/queries", qt))
+	mux.Handle("/debug/queries/", QueriesHandler("/debug/queries", qt))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln)
-	return &MetricsServer{ln: ln, srv: srv}, nil
+	s := &MetricsServer{ln: ln, srv: srv, served: make(chan struct{})}
+	go func() {
+		defer close(s.served)
+		srv.Serve(ln)
+	}()
+	return s, nil
 }

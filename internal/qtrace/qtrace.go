@@ -1,0 +1,598 @@
+// Package qtrace is the per-query lifecycle tracing layer of the
+// incremental distance join: every Join/SemiJoin/kNN run gets a query ID
+// and a hierarchical span tree (plan → partition workers → engine phases →
+// queue disk-tier I/O), assembled from the same nil-safe profile.Spans
+// accumulators the engine, the hybrid priority queue and the pager already
+// thread through their hot paths.
+//
+// Where internal/profile answers "where did THIS run's time go" as one flat
+// phase list, qtrace answers the operational questions of a server hosting
+// many concurrent resumable cursors: which query is this, which of its
+// partition workers is stuck, did it die and why, and what did it cost. On
+// top of the per-query traces sit:
+//
+//   - a flight recorder: a bounded ring of the last N completed query
+//     traces, always on while a Tracer is attached, dumpable as JSON via
+//     the /debug/queries handlers of internal/obs.ServeMetrics;
+//   - a slow-query log: queries exceeding a wall-time or work-counter
+//     threshold (node I/O, distance calculations) emit their full span
+//     tree as one structured JSONL line;
+//   - per-query resource accounting (pairs, distance calculations, node
+//     I/O, I/O faults/retries, batch prunes, peak queue depth), exported
+//     as labeled gauges on /metrics.
+//
+// The package follows the repository's nil-safety convention: a nil
+// *Tracer begins nil *Query values, every method of Tracer, Query and
+// Worker is a no-op on a nil receiver, performs no clock reads and
+// allocates nothing, so the engine's hot path is untouched when tracing is
+// off (pinned by a testing.AllocsPerRun test). Like internal/profile it
+// depends only on the standard library, internal/profile and
+// internal/stats, so it sits below internal/obs, internal/pqueue and
+// internal/distjoin in the import graph.
+package qtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distjoin/internal/profile"
+	"distjoin/internal/stats"
+)
+
+// SchemaVersion identifies the JSON schema of QueryTrace documents (the
+// flight-recorder dumps and slow-query log lines). Bump on any incompatible
+// change; the checked-in schema in testdata/querytrace.schema.json and the
+// CI smoke validation track it.
+const SchemaVersion = 1
+
+// DefaultFlightSize is the flight-recorder ring size when Config.FlightSize
+// is unset.
+const DefaultFlightSize = 16
+
+// Config configures a Tracer. The zero value keeps a default-sized flight
+// recorder and no slow-query log.
+type Config struct {
+	// FlightSize bounds the flight recorder: the ring retains the last
+	// FlightSize completed query traces (default DefaultFlightSize).
+	FlightSize int
+	// SlowLog, when non-nil, receives slow-query traces as JSONL — one
+	// QueryTrace document per line. Writes are buffered; call Tracer.Close
+	// to flush.
+	SlowLog io.Writer
+	// SlowWall logs queries whose wall time reaches the threshold.
+	// With SlowLog set and every threshold zero, every query is logged.
+	SlowWall time.Duration
+	// SlowNodeIO logs queries whose node I/O count (reads + writes)
+	// reaches the threshold.
+	SlowNodeIO int64
+	// SlowDistCalcs logs queries whose object distance-computation count
+	// reaches the threshold.
+	SlowDistCalcs int64
+}
+
+// Tracer is the process-wide query tracing subsystem: it assigns query IDs,
+// owns the flight recorder and the slow-query log. Attach one to
+// Options.Tracer; all methods are safe for concurrent use and all are
+// no-ops on a nil receiver.
+type Tracer struct {
+	cfg    Config
+	seq    atomic.Uint64
+	active atomic.Int64
+
+	mu      sync.Mutex
+	ring    []*QueryTrace // completed traces, oldest first
+	slow    *bufio.Writer
+	slowErr error
+}
+
+// New creates a Tracer.
+func New(cfg Config) *Tracer {
+	if cfg.FlightSize <= 0 {
+		cfg.FlightSize = DefaultFlightSize
+	}
+	t := &Tracer{cfg: cfg}
+	if cfg.SlowLog != nil {
+		t.slow = bufio.NewWriterSize(cfg.SlowLog, 64*1024)
+	}
+	return t
+}
+
+// Begin starts tracing one query run. kind names the operation ("join",
+// "semijoin", "knn", "clustering"); id overrides the tracer-assigned query
+// ID when non-empty. A nil tracer returns a nil query, which disables all
+// downstream tracing at zero cost.
+func (t *Tracer) Begin(kind, id string) *Query {
+	if t == nil {
+		return nil
+	}
+	if id == "" {
+		id = fmt.Sprintf("q%07d", t.seq.Add(1))
+	} else {
+		t.seq.Add(1)
+	}
+	t.active.Add(1)
+	return &Query{tr: t, id: id, kind: kind, start: time.Now()}
+}
+
+// Active returns the number of begun-but-unfinished queries.
+func (t *Tracer) Active() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.active.Load()
+}
+
+// Traces returns the flight recorder's contents, newest first. The traces
+// are immutable once completed; callers may hold them without copying.
+func (t *Tracer) Traces() []*QueryTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*QueryTrace, len(t.ring))
+	for i, tr := range t.ring {
+		out[len(t.ring)-1-i] = tr
+	}
+	return out
+}
+
+// Trace returns the newest completed trace with the given query ID, or nil.
+func (t *Tracer) Trace(id string) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].ID == id {
+			return t.ring[i]
+		}
+	}
+	return nil
+}
+
+// Close flushes the slow-query log and returns the first write error
+// encountered, if any. The flight recorder remains readable after Close;
+// further completed queries are still recorded to the ring but not the log.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.slow == nil {
+		return t.slowErr
+	}
+	if err := t.slow.Flush(); err != nil && t.slowErr == nil {
+		t.slowErr = err
+	}
+	t.slow = nil
+	return t.slowErr
+}
+
+// complete lands a finished trace in the flight recorder and, when it
+// crosses a slow threshold, the slow-query log.
+func (t *Tracer) complete(qt *QueryTrace) {
+	t.active.Add(-1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) >= t.cfg.FlightSize {
+		n := copy(t.ring, t.ring[len(t.ring)-t.cfg.FlightSize+1:])
+		t.ring = t.ring[:n]
+	}
+	t.ring = append(t.ring, qt)
+	if t.slow != nil && t.isSlow(qt) {
+		line, err := json.Marshal(qt)
+		if err == nil {
+			line = append(line, '\n')
+			if _, err = t.slow.Write(line); err == nil {
+				// One flush per slow query: the log is low-volume by
+				// definition, and a line must be readable while the
+				// process is still running (and survive a crash).
+				err = t.slow.Flush()
+			}
+		}
+		if err != nil && t.slowErr == nil {
+			t.slowErr = err
+		}
+	}
+}
+
+// isSlow applies the slow-query thresholds. With no threshold configured,
+// every query counts as slow (the log becomes a full query log).
+func (t *Tracer) isSlow(qt *QueryTrace) bool {
+	c := t.cfg
+	if c.SlowWall <= 0 && c.SlowNodeIO <= 0 && c.SlowDistCalcs <= 0 {
+		return true
+	}
+	if c.SlowWall > 0 && qt.WallSeconds >= c.SlowWall.Seconds() {
+		return true
+	}
+	if c.SlowNodeIO > 0 && qt.Resources.NodeIO >= c.SlowNodeIO {
+		return true
+	}
+	if c.SlowDistCalcs > 0 && qt.Resources.DistCalcs >= c.SlowDistCalcs {
+		return true
+	}
+	return false
+}
+
+// Query is one live (running) query trace. The join layer brackets its
+// lifecycle: Begin at construction, PlanDone after validation/partitioning/
+// seeding, one StartWorker per engine, MergeAdd around the parallel merge,
+// and Finish when the iterator closes. All methods are nil-safe.
+type Query struct {
+	tr    *Tracer
+	id    string
+	kind  string
+	start time.Time
+
+	planNS  atomic.Int64
+	mergeNS atomic.Int64
+	merges  atomic.Int64
+
+	wmu     sync.Mutex
+	workers []*Worker
+
+	counters *stats.Counters
+	owned    bool           // counters are query-owned (no baseline subtraction)
+	base     stats.Counters // snapshot of shared counters at attach time
+
+	finished atomic.Bool
+}
+
+// ID returns the query's ID ("" for a nil query).
+func (q *Query) ID() string {
+	if q == nil {
+		return ""
+	}
+	return q.id
+}
+
+// Now returns the current time, or the zero time on a nil query — callers
+// bracket plan work with q.Now() so a disabled tracer skips the clock read.
+func (q *Query) Now() time.Time {
+	if q == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// AttachCounters wires the query's resource accounting to the run's
+// stats.Counters and returns the counters the run should use. A nil c makes
+// the query own a fresh counter set; a caller-supplied c is snapshotted so
+// Finish reports the query's delta even when the counters are shared across
+// runs. (MaxQueueSize is a high-water mark, not additive: on shared
+// counters the reported peak covers the counters' lifetime, not only this
+// query.) Nil-safe: a nil query returns c unchanged.
+func (q *Query) AttachCounters(c *stats.Counters) *stats.Counters {
+	if q == nil {
+		return c
+	}
+	if c == nil {
+		q.counters = &stats.Counters{}
+		q.owned = true
+		return q.counters
+	}
+	q.counters = c
+	q.base = c.Snapshot()
+	return c
+}
+
+// PlanDone records the plan span: everything between Begin and the engines
+// being ready to pop (validation, partition planning, queue construction,
+// seeding).
+func (q *Query) PlanDone(start time.Time) {
+	if q == nil {
+		return
+	}
+	if d := time.Since(start); d > 0 {
+		q.planNS.Add(int64(d))
+	}
+}
+
+// MergeAdd records one parallel order-preserving-merge bracket, including
+// the time the merge blocked waiting on partition workers.
+func (q *Query) MergeAdd(d time.Duration) {
+	if q == nil {
+		return
+	}
+	if d > 0 {
+		q.mergeNS.Add(int64(d))
+	}
+	q.merges.Add(1)
+}
+
+// StartWorker registers one engine (partition id part; -1 for the
+// sequential engine) and returns its span accumulator. The engine records
+// its phase spans into Worker.Spans — single-writer, like the per-worker
+// shards of the parallel path — and calls Done when it closes.
+func (q *Query) StartWorker(part int32) *Worker {
+	if q == nil {
+		return nil
+	}
+	w := &Worker{part: part}
+	q.wmu.Lock()
+	q.workers = append(q.workers, w)
+	q.wmu.Unlock()
+	return w
+}
+
+// Worker is the per-engine slice of a query trace: one partition worker of
+// the parallel path, or the single sequential engine (part -1).
+type Worker struct {
+	part      int32
+	sp        profile.Spans
+	pairs     atomic.Int64
+	restarted atomic.Bool
+	done      atomic.Bool
+}
+
+// Spans returns the worker's phase-span accumulator (nil for a nil worker,
+// which disables profiling in the engine that receives it).
+func (w *Worker) Spans() *profile.Spans {
+	if w == nil {
+		return nil
+	}
+	return &w.sp
+}
+
+// Done records the worker's final tally when its engine closes.
+func (w *Worker) Done(pairs int64, restarted bool) {
+	if w == nil {
+		return
+	}
+	w.pairs.Store(pairs)
+	if restarted {
+		w.restarted.Store(true)
+	}
+	w.done.Store(true)
+}
+
+// Finish completes the query trace: the span tree is assembled from the
+// plan/merge brackets and the worker span accumulators, the resource delta
+// is read from the attached counters, and the trace lands in the tracer's
+// flight recorder (and slow-query log, when it qualifies). err annotates a
+// query that died; nil marks a clean finish. Finish is idempotent — the
+// first call wins — and nil-safe. The join layer calls it on iterator
+// Close, after the runner has released every engine, so the worker spans
+// are quiescent.
+func (q *Query) Finish(err error) *QueryTrace {
+	if q == nil || !q.finished.CompareAndSwap(false, true) {
+		return nil
+	}
+	wall := time.Since(q.start)
+	qt := &QueryTrace{
+		SchemaVersion: SchemaVersion,
+		ID:            q.id,
+		Kind:          q.kind,
+		StartTime:     q.start.Format(time.RFC3339Nano),
+		WallSeconds:   wall.Seconds(),
+	}
+	if err != nil {
+		qt.Error = err.Error()
+	}
+	q.wmu.Lock()
+	workers := q.workers
+	q.wmu.Unlock()
+	qt.Workers = len(workers)
+	qt.Root = q.buildTree(wall, workers)
+	for _, w := range workers {
+		if w.restarted.Load() {
+			qt.Restarted = true
+		}
+	}
+	qt.Resources = q.resources()
+	qt.Coverage = q.coverage(wall, workers)
+	q.tr.complete(qt)
+	return qt
+}
+
+// buildTree assembles the hierarchical span tree:
+//
+//	query
+//	├── plan                  validation, partitioning, queue build, seeding
+//	├── merge                 parallel only: order-preserving stream merge
+//	└── worker (per engine)
+//	    ├── expand            node-pair expansion (sweep/block generation)
+//	    ├── push              queue insertion, excluding nested spills
+//	    ├── pop               queue removal, excluding nested fetches
+//	    ├── spill             hybrid-queue disk-tier writes
+//	    │   └── io_write      of which: physical page writes (pager)
+//	    ├── fetch             hybrid-queue disk-tier reads
+//	    │   └── io_read       of which: physical page reads (pager)
+//	    └── emit              per-result residue of the engine loop
+func (q *Query) buildTree(wall time.Duration, workers []*Worker) Span {
+	root := Span{Name: "query", Seconds: wall.Seconds()}
+	root.Children = append(root.Children, Span{
+		Name:    "plan",
+		Seconds: time.Duration(q.planNS.Load()).Seconds(),
+		Count:   1,
+	})
+	if n := q.merges.Load(); n > 0 {
+		root.Children = append(root.Children, Span{
+			Name:    "merge",
+			Seconds: time.Duration(q.mergeNS.Load()).Seconds(),
+			Count:   n,
+		})
+	}
+	for _, w := range workers {
+		root.Children = append(root.Children, w.span())
+	}
+	return root
+}
+
+// span renders one worker's phase spans as a subtree.
+func (w *Worker) span() Span {
+	part := int(w.part)
+	ws := Span{
+		Name:    "worker",
+		Part:    &part,
+		Seconds: time.Duration(w.sp.TotalNS()).Seconds(),
+		Count:   w.pairs.Load(),
+	}
+	io := w.sp.IOSnapshot()
+	for p := 0; p < profile.NumPhases; p++ {
+		ph := profile.Phase(p)
+		n, ns := w.sp.Count(ph), w.sp.NS(ph)
+		if n == 0 && ns == 0 {
+			continue
+		}
+		child := Span{Name: ph.String(), Seconds: time.Duration(ns).Seconds(), Count: n}
+		// Physical page I/O is nested inside the disk-tier phases that
+		// trigger it: reads inside fetch, writes inside spill. They are
+		// "of which" figures (Nested), not additive with sibling spans.
+		switch ph {
+		case profile.PhaseSpill:
+			if io.Writes > 0 {
+				child.Children = []Span{{Name: "io_write", Seconds: io.WriteSeconds, Count: io.Writes, Nested: true}}
+			}
+		case profile.PhaseFetch:
+			if io.Reads > 0 {
+				child.Children = []Span{{Name: "io_read", Seconds: io.ReadSeconds, Count: io.Reads, Nested: true}}
+			}
+		}
+		ws.Children = append(ws.Children, child)
+	}
+	return ws
+}
+
+// coverage computes the fraction of query wall time the span accounting
+// explains. On the sequential path the single worker's disjoint phases plus
+// the plan span should cover nearly everything; on the parallel path the
+// workers run concurrently with the merge, so the merge bracket (which
+// includes its blocking waits) stands in for them.
+func (q *Query) coverage(wall time.Duration, workers []*Worker) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	covered := q.planNS.Load()
+	if q.merges.Load() > 0 {
+		covered += q.mergeNS.Load()
+	} else if len(workers) == 1 {
+		covered += workers[0].sp.TotalNS()
+	}
+	return float64(covered) / float64(wall.Nanoseconds())
+}
+
+// resources reads the query's resource accounting from the attached
+// counters: the raw totals when the query owns them, the delta against the
+// Begin-time snapshot when they are shared.
+func (q *Query) resources() Resources {
+	if q.counters == nil {
+		return Resources{}
+	}
+	s := q.counters.Snapshot()
+	if !q.owned {
+		b := q.base
+		s.PairsReported -= b.PairsReported
+		s.DistCalcs -= b.DistCalcs
+		s.NodeDistCalcs -= b.NodeDistCalcs
+		s.NodeReads -= b.NodeReads
+		s.NodeWrites -= b.NodeWrites
+		s.BufferHits -= b.BufferHits
+		s.QueueInserts -= b.QueueInserts
+		s.QueuePops -= b.QueuePops
+		s.QueueDiskPairs -= b.QueueDiskPairs
+		s.IOFaults -= b.IOFaults
+		s.IORetries -= b.IORetries
+		s.BatchPruned -= b.BatchPruned
+		s.Filtered -= b.Filtered
+		// MaxQueueSize is a high-water mark, not additive: keep the final
+		// value (see AttachCounters).
+	}
+	return Resources{
+		Pairs:          s.PairsReported,
+		DistCalcs:      s.DistCalcs,
+		NodeDistCalcs:  s.NodeDistCalcs,
+		NodeIO:         s.NodeReads + s.NodeWrites,
+		BufferHits:     s.BufferHits,
+		QueueInserts:   s.QueueInserts,
+		QueuePops:      s.QueuePops,
+		QueueDiskPairs: s.QueueDiskPairs,
+		IOFaults:       s.IOFaults,
+		IORetries:      s.IORetries,
+		BatchPruned:    s.BatchPruned,
+		Filtered:       s.Filtered,
+		PeakQueueDepth: s.MaxQueueSize,
+	}
+}
+
+// QueryTrace is one completed query's trace document — the unit the flight
+// recorder retains, /debug/queries/<id> serves, and the slow-query log
+// emits as one JSONL line. Immutable once built.
+type QueryTrace struct {
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	Kind          string `json:"kind"`
+	StartTime     string `json:"start_time"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	// Workers is the number of engines the run used: 1 on the sequential
+	// path, the partition count on the parallel path.
+	Workers int `json:"workers"`
+	// Error annotates a query that died (storage fault, checksum mismatch,
+	// failed partition worker, ...). Empty on a clean finish.
+	Error string `json:"error,omitempty"`
+	// Restarted reports whether any engine used the §2.2.4 restart.
+	Restarted bool `json:"restarted,omitempty"`
+	// Coverage is the fraction of wall time the span tree explains.
+	Coverage  float64   `json:"phase_coverage"`
+	Root      Span      `json:"root"`
+	Resources Resources `json:"resources"`
+}
+
+// Span is one node of the hierarchical span tree.
+type Span struct {
+	Name string `json:"name"`
+	// Part is the engine's partition id on worker spans (-1 sequential);
+	// nil elsewhere.
+	Part    *int    `json:"part,omitempty"`
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count,omitempty"`
+	// Nested marks an "of which" span (physical I/O inside spill/fetch):
+	// its time is included in its parent, not additive with siblings.
+	Nested   bool   `json:"nested,omitempty"`
+	Children []Span `json:"children,omitempty"`
+}
+
+// Find returns the first descendant span (depth-first, including s itself)
+// with the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if f := s.Children[i].Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Resources is the per-query resource accounting: the run's work counters
+// scoped to this query (see Query.AttachCounters for the shared-counters
+// caveat on PeakQueueDepth).
+type Resources struct {
+	Pairs          int64 `json:"pairs_reported"`
+	DistCalcs      int64 `json:"dist_calcs"`
+	NodeDistCalcs  int64 `json:"node_dist_calcs"`
+	NodeIO         int64 `json:"node_io"`
+	BufferHits     int64 `json:"buffer_hits"`
+	QueueInserts   int64 `json:"queue_inserts"`
+	QueuePops      int64 `json:"queue_pops"`
+	QueueDiskPairs int64 `json:"queue_disk_pairs"`
+	IOFaults       int64 `json:"io_faults"`
+	IORetries      int64 `json:"io_retries"`
+	BatchPruned    int64 `json:"batch_pruned"`
+	Filtered       int64 `json:"filtered"`
+	PeakQueueDepth int64 `json:"peak_queue_depth"`
+}

@@ -1,0 +1,440 @@
+package qtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"distjoin/internal/profile"
+	"distjoin/internal/stats"
+)
+
+// runQuery drives one synthetic query through the full lifecycle the join
+// layer uses: Begin → AttachCounters → plan bracket → workers recording
+// spans → Done → Finish.
+func runQuery(t *Tracer, kind, id string, workers int, err error) *QueryTrace {
+	q := t.Begin(kind, id)
+	c := q.AttachCounters(nil)
+	planStart := q.Now()
+	time.Sleep(time.Microsecond)
+	q.PlanDone(planStart)
+	c.ReportPair()
+	c.AddDistCalc(1)
+	c.AddNodeRead(1)
+	for i := 0; i < workers; i++ {
+		w := q.StartWorker(int32(i))
+		sp := w.Spans()
+		sp.Add(profile.PhaseExpand, 3*time.Millisecond)
+		sp.Add(profile.PhasePop, time.Millisecond)
+		sp.Add(profile.PhaseSpill, 2*time.Millisecond)
+		sp.ObserveWrite(time.Millisecond)
+		w.Done(int64(10+i), false)
+	}
+	if workers > 1 {
+		q.MergeAdd(time.Millisecond)
+	}
+	return q.Finish(err)
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	q := tr.Begin("join", "x")
+	if q != nil {
+		t.Fatalf("nil tracer Begin = %v, want nil", q)
+	}
+	if got := q.AttachCounters(nil); got != nil {
+		t.Fatalf("nil query AttachCounters(nil) = %v, want nil", got)
+	}
+	c := &stats.Counters{}
+	if got := q.AttachCounters(c); got != c {
+		t.Fatalf("nil query AttachCounters must pass counters through")
+	}
+	q.PlanDone(q.Now())
+	q.MergeAdd(time.Second)
+	w := q.StartWorker(0)
+	if w != nil {
+		t.Fatalf("nil query StartWorker = %v, want nil", w)
+	}
+	if sp := w.Spans(); sp != nil {
+		t.Fatalf("nil worker Spans = %v, want nil", sp)
+	}
+	w.Done(1, true)
+	if qt := q.Finish(nil); qt != nil {
+		t.Fatalf("nil query Finish = %v, want nil", qt)
+	}
+	if tr.Active() != 0 || tr.Traces() != nil || tr.Trace("x") != nil || tr.Close() != nil {
+		t.Fatalf("nil tracer accessors must be zero-valued no-ops")
+	}
+}
+
+// TestDisabledZeroAllocs pins the Options.Obs contract on the tracing
+// layer: with no tracer attached, the whole per-query bracket set performs
+// zero allocations.
+func TestDisabledZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	c := &stats.Counters{}
+	allocs := testing.AllocsPerRun(100, func() {
+		q := tr.Begin("join", "")
+		c2 := q.AttachCounters(c)
+		q.PlanDone(q.Now())
+		w := q.StartWorker(0)
+		_ = w.Spans()
+		q.MergeAdd(0)
+		w.Done(1, false)
+		q.Finish(nil)
+		if c2 != c {
+			t.Fatal("counters not passed through")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	tr := New(Config{FlightSize: 3})
+	for i := 0; i < 5; i++ {
+		runQuery(tr, "join", fmt.Sprintf("id%d", i), 1, nil)
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(traces))
+	}
+	// Newest first, and only the last FlightSize survive.
+	for i, want := range []string{"id4", "id3", "id2"} {
+		if traces[i].ID != want {
+			t.Fatalf("traces[%d].ID = %q, want %q", i, traces[i].ID, want)
+		}
+	}
+	if tr.Trace("id0") != nil {
+		t.Fatalf("evicted trace id0 still retrievable")
+	}
+	if got := tr.Trace("id3"); got == nil || got.ID != "id3" {
+		t.Fatalf("Trace(id3) = %v", got)
+	}
+	if tr.Active() != 0 {
+		t.Fatalf("Active = %d after all queries finished, want 0", tr.Active())
+	}
+}
+
+func TestAssignedQueryIDs(t *testing.T) {
+	tr := New(Config{})
+	a := tr.Begin("join", "")
+	b := tr.Begin("knn", "custom")
+	if a.ID() == "" || !strings.HasPrefix(a.ID(), "q") {
+		t.Fatalf("assigned ID = %q, want q-prefixed", a.ID())
+	}
+	if b.ID() != "custom" {
+		t.Fatalf("user ID = %q, want custom", b.ID())
+	}
+	if tr.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", tr.Active())
+	}
+	a.Finish(nil)
+	a.Finish(nil) // idempotent: second Finish must not double-complete
+	b.Finish(nil)
+	if tr.Active() != 0 {
+		t.Fatalf("Active = %d after Finish, want 0", tr.Active())
+	}
+	if len(tr.Traces()) != 2 {
+		t.Fatalf("ring holds %d traces, want 2", len(tr.Traces()))
+	}
+}
+
+func TestTraceContents(t *testing.T) {
+	tr := New(Config{})
+	qt := runQuery(tr, "knn", "q-abc", 2, errors.New("boom"))
+	if qt == nil {
+		t.Fatal("Finish returned nil trace")
+	}
+	if qt.SchemaVersion != SchemaVersion || qt.ID != "q-abc" || qt.Kind != "knn" {
+		t.Fatalf("header = %+v", qt)
+	}
+	if qt.Error != "boom" {
+		t.Fatalf("Error = %q, want boom", qt.Error)
+	}
+	if qt.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", qt.Workers)
+	}
+	if qt.Root.Name != "query" || qt.Root.Seconds <= 0 {
+		t.Fatalf("root span = %+v", qt.Root)
+	}
+	if plan := qt.Root.Find("plan"); plan == nil || plan.Seconds <= 0 {
+		t.Fatalf("plan span = %+v", plan)
+	}
+	if mg := qt.Root.Find("merge"); mg == nil || mg.Count != 1 {
+		t.Fatalf("merge span = %+v", mg)
+	}
+	if ex := qt.Root.Find("expand"); ex == nil || ex.Seconds < 0.003 {
+		t.Fatalf("expand span = %+v", ex)
+	}
+	spill := qt.Root.Find("spill")
+	if spill == nil || len(spill.Children) != 1 || spill.Children[0].Name != "io_write" || !spill.Children[0].Nested {
+		t.Fatalf("spill span = %+v", spill)
+	}
+	// Query-owned counters: the delta is the raw totals.
+	if qt.Resources.Pairs != 1 || qt.Resources.DistCalcs != 1 || qt.Resources.NodeIO != 1 {
+		t.Fatalf("resources = %+v", qt.Resources)
+	}
+	if qt.Coverage < 0 || math.IsNaN(qt.Coverage) {
+		t.Fatalf("coverage = %v", qt.Coverage)
+	}
+}
+
+// TestSharedCountersDelta: a caller-owned counter set shared across queries
+// still yields per-query resource deltas.
+func TestSharedCountersDelta(t *testing.T) {
+	tr := New(Config{})
+	shared := &stats.Counters{}
+	shared.ReportPair()
+	shared.AddDistCalc(1)
+	shared.AddDistCalc(1)
+
+	q := tr.Begin("join", "with-baseline")
+	c := q.AttachCounters(shared)
+	if c != shared {
+		t.Fatal("AttachCounters must keep caller counters")
+	}
+	c.ReportPair()
+	c.AddDistCalc(1)
+	qt := q.Finish(nil)
+	if qt.Resources.Pairs != 1 || qt.Resources.DistCalcs != 1 {
+		t.Fatalf("shared-counter delta = %+v, want 1 pair / 1 dist calc", qt.Resources)
+	}
+}
+
+func TestSlowLogGating(t *testing.T) {
+	t.Run("all-when-unthresholded", func(t *testing.T) {
+		var buf bytes.Buffer
+		tr := New(Config{SlowLog: &buf})
+		runQuery(tr, "join", "a", 1, nil)
+		runQuery(tr, "join", "b", 1, nil)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := countLines(&buf); n != 2 {
+			t.Fatalf("unthresholded slow log has %d lines, want 2", n)
+		}
+	})
+	t.Run("wall-threshold", func(t *testing.T) {
+		var buf bytes.Buffer
+		tr := New(Config{SlowLog: &buf, SlowWall: time.Hour})
+		runQuery(tr, "join", "fast", 1, nil)
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := countLines(&buf); n != 0 {
+			t.Fatalf("fast query logged %d lines under 1h threshold", n)
+		}
+	})
+	t.Run("counter-threshold", func(t *testing.T) {
+		var buf bytes.Buffer
+		tr := New(Config{SlowLog: &buf, SlowWall: time.Hour, SlowDistCalcs: 1})
+		runQuery(tr, "join", "heavy", 1, nil) // performs 1 dist calc
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n := countLines(&buf); n != 1 {
+			t.Fatalf("dist-calc-gated slow log has %d lines, want 1", n)
+		}
+		var qt QueryTrace
+		if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &qt); err != nil {
+			t.Fatalf("slow log line is not valid JSON: %v", err)
+		}
+		if qt.ID != "heavy" || qt.Root.Find("plan") == nil {
+			t.Fatalf("slow log trace = %+v", qt)
+		}
+	})
+}
+
+func countLines(buf *bytes.Buffer) int {
+	n := 0
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTraceMatchesSchema validates a marshalled trace against the
+// checked-in JSON schema (testdata/querytrace.schema.json) with a
+// dependency-free draft-07 subset validator — the same schema the CI smoke
+// step checks /debug/queries dumps against.
+func TestTraceMatchesSchema(t *testing.T) {
+	schema := loadSchema(t)
+	tr := New(Config{})
+	for _, tc := range []struct {
+		kind    string
+		workers int
+		err     error
+	}{
+		{"join", 1, nil},
+		{"knn", 3, nil},
+		{"semijoin", 1, errors.New("injected fault")},
+	} {
+		qt := runQuery(tr, tc.kind, "", tc.workers, tc.err)
+		raw, err := json.Marshal(qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if err := validate(schema, schema, doc, "$"); err != nil {
+			t.Errorf("%s trace violates schema: %v\n%s", tc.kind, err, raw)
+		}
+	}
+}
+
+// TestSchemaRejectsBadDocs guards the validator itself: documents missing
+// required fields or carrying wrong types must fail.
+func TestSchemaRejectsBadDocs(t *testing.T) {
+	schema := loadSchema(t)
+	qt := runQuery(New(Config{}), "join", "", 1, nil)
+	good, _ := json.Marshal(qt)
+	for name, mutate := range map[string]func(m map[string]any){
+		"missing-id":      func(m map[string]any) { delete(m, "id") },
+		"wrong-kind":      func(m map[string]any) { m["kind"] = "table-scan" },
+		"string-wall":     func(m map[string]any) { m["wall_seconds"] = "fast" },
+		"bad-span-name":   func(m map[string]any) { m["root"].(map[string]any)["name"] = "mystery" },
+		"float-resources": func(m map[string]any) { m["resources"].(map[string]any)["node_io"] = 1.5 },
+	} {
+		var doc map[string]any
+		if err := json.Unmarshal(good, &doc); err != nil {
+			t.Fatal(err)
+		}
+		mutate(doc)
+		if err := validate(schema, schema, doc, "$"); err == nil {
+			t.Errorf("%s: schema accepted an invalid document", name)
+		}
+	}
+}
+
+func loadSchema(t *testing.T) map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/querytrace.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]any
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatalf("schema is not valid JSON: %v", err)
+	}
+	return schema
+}
+
+// validate implements the draft-07 subset the schema uses: type, enum,
+// required, properties, items, and local $ref. root is the document root
+// schema (for resolving "#/definitions/..." refs).
+func validate(root, schema map[string]any, doc any, path string) error {
+	if ref, ok := schema["$ref"].(string); ok {
+		target, err := resolveRef(root, ref)
+		if err != nil {
+			return err
+		}
+		return validate(root, target, doc, path)
+	}
+	if typ, ok := schema["type"].(string); ok {
+		if err := checkType(typ, doc, path); err != nil {
+			return err
+		}
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, v := range enum {
+			if v == doc {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: value %v not in enum %v", path, doc, enum)
+		}
+	}
+	if obj, ok := doc.(map[string]any); ok {
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				if _, present := obj[r.(string)]; !present {
+					return fmt.Errorf("%s: missing required field %q", path, r)
+				}
+			}
+		}
+		if props, ok := schema["properties"].(map[string]any); ok {
+			for name, sub := range props {
+				v, present := obj[name]
+				if !present {
+					continue
+				}
+				if err := validate(root, sub.(map[string]any), v, path+"."+name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if arr, ok := doc.([]any); ok {
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, v := range arr {
+				if err := validate(root, items, v, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(typ string, doc any, path string) error {
+	ok := false
+	switch typ {
+	case "object":
+		_, ok = doc.(map[string]any)
+	case "array":
+		_, ok = doc.([]any)
+	case "string":
+		_, ok = doc.(string)
+	case "boolean":
+		_, ok = doc.(bool)
+	case "number":
+		_, ok = doc.(float64)
+	case "integer":
+		f, isNum := doc.(float64)
+		ok = isNum && f == math.Trunc(f)
+	default:
+		return fmt.Errorf("%s: unsupported schema type %q", path, typ)
+	}
+	if !ok {
+		return fmt.Errorf("%s: value %v is not a %s", path, doc, typ)
+	}
+	return nil
+}
+
+func resolveRef(root map[string]any, ref string) (map[string]any, error) {
+	const prefix = "#/"
+	if !strings.HasPrefix(ref, prefix) {
+		return nil, fmt.Errorf("unsupported $ref %q", ref)
+	}
+	cur := any(root)
+	for _, seg := range strings.Split(strings.TrimPrefix(ref, prefix), "/") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("$ref %q: %q is not an object", ref, seg)
+		}
+		cur, ok = m[seg]
+		if !ok {
+			return nil, fmt.Errorf("$ref %q: missing segment %q", ref, seg)
+		}
+	}
+	m, ok := cur.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("$ref %q does not resolve to a schema", ref)
+	}
+	return m, nil
+}

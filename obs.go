@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"distjoin/internal/obs"
+	"distjoin/internal/qtrace"
 	"distjoin/internal/stats"
 )
 
@@ -65,6 +66,39 @@ func ServeMetrics(addr string, r *Recorder, c *Stats) (*MetricsServer, error) {
 // exposition, for mounting in a caller-owned mux.
 func MetricsHandler(r *Recorder, c *Stats) http.Handler {
 	return obs.Handler(r, (*stats.Counters)(c))
+}
+
+// Per-query lifecycle tracing — the public surface of internal/qtrace. A
+// QueryTracer attached to Options.Tracer assigns every Join/SemiJoin/kNN
+// run a query ID and records a hierarchical span tree (plan → partition
+// workers → engine phases → queue disk-tier I/O) plus per-query resource
+// accounting, retained in a bounded flight recorder and optionally written
+// to a slow-query JSONL log. A nil *QueryTracer is valid everywhere and
+// records nothing, at zero cost — the same convention as Stats and
+// Recorder.
+
+// QueryTracer is the per-query tracing subsystem: query IDs, flight
+// recorder, slow-query log.
+type QueryTracer = qtrace.Tracer
+
+// QueryTraceConfig configures a QueryTracer.
+type QueryTraceConfig = qtrace.Config
+
+// NewQueryTracer creates a query tracer; assign it to Options.Tracer.
+func NewQueryTracer(cfg QueryTraceConfig) *QueryTracer { return qtrace.New(cfg) }
+
+// ServeMetricsTraced is ServeMetrics with per-query tracing attached: the
+// /metrics exposition gains per-query resource gauges, and the tracer's
+// flight recorder is served as JSON at /debug/queries and
+// /debug/queries/<id>.
+func ServeMetricsTraced(addr string, r *Recorder, c *Stats, qt *QueryTracer) (*MetricsServer, error) {
+	return obs.ServeMetricsTraced(addr, r, (*stats.Counters)(c), qt)
+}
+
+// QueriesHandler returns an http.Handler serving the tracer's flight
+// recorder as JSON, for mounting at prefix in a caller-owned mux.
+func QueriesHandler(prefix string, qt *QueryTracer) http.Handler {
+	return obs.QueriesHandler(prefix, qt)
 }
 
 // ReadTrace parses a JSONL trace written via ObsConfig.Trace.

@@ -7,6 +7,7 @@ import (
 
 	"distjoin/internal/obs"
 	"distjoin/internal/profile"
+	"distjoin/internal/qtrace"
 )
 
 // Query profiles — the public surface of internal/profile. A Profiler wired
@@ -27,6 +28,16 @@ type ProfileSpans = profile.Spans
 
 // ExplainRow is one predicted-vs-actual comparison in a Profile.
 type ExplainRow = profile.ExplainRow
+
+// QueryTrace is one completed query's trace document — the unit the
+// QueryTracer's flight recorder retains and the slow-query log emits;
+// QuerySpan is one node of its hierarchical span tree, QueryResources its
+// per-query resource accounting.
+type (
+	QueryTrace     = qtrace.QueryTrace
+	QuerySpan      = qtrace.Span
+	QueryResources = qtrace.Resources
+)
 
 // Trajectory is one benchmark-trajectory point (the BENCH_<date>.json
 // schema); WorkloadProfile is one workload's entry in it.
