@@ -1,0 +1,192 @@
+// Command distjoind serves incremental distance joins over HTTP as
+// resumable cursors. A client creates a cursor over a pair of named
+// indexes (POST /v1/query), pulls the next k pairs in distance order
+// (GET /v1/cursor/<id>/next?k=N) as often and as slowly as it likes, and
+// deletes the cursor when done — the paper's pull-one-pair-at-a-time
+// iterator, stretched over a network connection. Cursors survive client
+// pauses in a bounded TTL-evicted table; admission control (cursor slots,
+// in-flight limit, a shared queue-memory budget) keeps many concurrent
+// clients from sinking the process.
+//
+// Indexes come from persisted R*-tree files (-index name=path), CSV point
+// sets (-csv name=path, built into an in-memory R*-tree at startup), or a
+// deterministic synthetic demo pair (-demo n: "water" and "roads").
+//
+//	distjoind -demo 50000 -addr :8080 -flightrec 256 -slowlog slow.jsonl
+//	curl -s localhost:8080/v1/indexes
+//	curl -s -X POST localhost:8080/v1/query -d '{"kind":"join","index1":"water","index2":"roads"}'
+//	curl -s localhost:8080/v1/cursor/c0000001/next?k=100
+//	curl -s -X DELETE localhost:8080/v1/cursor/c0000001
+//
+// /metrics serves Prometheus text (engine counters + per-query gauges),
+// /debug/queries the flight recorder, /debug/pprof the usual profiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"distjoin"
+	"distjoin/internal/datagen"
+	"distjoin/internal/server"
+)
+
+// repeatable collects repeated name=path flags.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, errw *os.File) int {
+	fs := flag.NewFlagSet("distjoind", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		indexFiles, csvFiles repeatable
+		addr                 = fs.String("addr", ":8080", "listen address")
+		demo                 = fs.Int("demo", 0, "register synthetic demo indexes \"water\" and \"roads\" with this many points each")
+		maxCursors           = fs.Int("max-cursors", 0, "bound on concurrently open cursors (0 = default)")
+		maxInflight          = fs.Int("max-inflight", 0, "bound on concurrently served pulls (0 = default)")
+		memBudget            = fs.Int64("mem-budget", 0, "shared queue-memory budget in bytes across all cursors (0 = default)")
+		cursorBudget         = fs.Int64("cursor-budget", 0, "default per-cursor queue-memory reservation in bytes (0 = default)")
+		ttl                  = fs.Duration("cursor-ttl", 0, "idle cursor time-to-live before eviction (0 = default)")
+		maxBatch             = fs.Int("max-batch", 0, "largest k honoured by one next/stream pull (0 = default)")
+		flightRec            = fs.Int("flightrec", 256, "flight-recorder size: retain the last N query traces at /debug/queries")
+		slowLogPath          = fs.String("slowlog", "", "write slow-query traces to this file as JSONL")
+		slowWall             = fs.Duration("slow-wall", 0, "slow-log queries whose wall time reaches this threshold (0 with no other threshold = log every query)")
+		slowNodeIO           = fs.Int64("slow-nodeio", 0, "slow-log queries whose node I/O count reaches this threshold")
+		slowDist             = fs.Int64("slow-distcalcs", 0, "slow-log queries whose distance-computation count reaches this threshold")
+	)
+	fs.Var(&indexFiles, "index", "register a persisted R*-tree: name=path (repeatable)")
+	fs.Var(&csvFiles, "csv", "register a CSV point set as an in-memory R*-tree: name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	reg := server.NewRegistry()
+	defer reg.Close()
+	owned := make([]*distjoin.Index, 0, 4)
+	defer func() {
+		for _, idx := range owned {
+			idx.Close()
+		}
+	}()
+	for _, spec := range indexFiles {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(errw, "distjoind: -index wants name=path, got %q\n", spec)
+			return 2
+		}
+		if err := reg.OpenFile(name, path); err != nil {
+			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			return 1
+		}
+	}
+	for _, spec := range csvFiles {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(errw, "distjoind: -csv wants name=path, got %q\n", spec)
+			return 2
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			return 1
+		}
+		pts, err := datagen.ReadPoints(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(errw, "distjoind: reading %s: %v\n", path, err)
+			return 1
+		}
+		idx := distjoin.NewIndexFromPoints(pts)
+		owned = append(owned, idx)
+		if err := reg.RegisterIndex(name, idx); err != nil {
+			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			return 1
+		}
+	}
+	if *demo > 0 {
+		water := distjoin.NewIndexFromPoints(datagen.Water(7, *demo))
+		roads := distjoin.NewIndexFromPoints(datagen.Roads(8, *demo))
+		owned = append(owned, water, roads)
+		if err := reg.RegisterIndex("water", water); err != nil {
+			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			return 1
+		}
+		if err := reg.RegisterIndex("roads", roads); err != nil {
+			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			return 1
+		}
+	}
+	if len(reg.List()) == 0 {
+		fmt.Fprintln(errw, "distjoind: no indexes registered; use -index, -csv or -demo")
+		return 2
+	}
+
+	traceCfg := distjoin.QueryTraceConfig{
+		FlightSize:    *flightRec,
+		SlowWall:      *slowWall,
+		SlowNodeIO:    *slowNodeIO,
+		SlowDistCalcs: *slowDist,
+	}
+	if *slowLogPath != "" {
+		slow, err := os.Create(*slowLogPath)
+		if err != nil {
+			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			return 1
+		}
+		defer slow.Close()
+		traceCfg.SlowLog = slow
+	}
+	tracer := distjoin.NewQueryTracer(traceCfg)
+	defer tracer.Close()
+	rec := distjoin.NewRecorder(distjoin.ObsConfig{})
+	counters := &distjoin.Stats{}
+
+	running, err := server.Start(*addr, server.Config{
+		Registry:            reg,
+		MaxCursors:          *maxCursors,
+		MaxInflight:         *maxInflight,
+		MemBudget:           *memBudget,
+		DefaultCursorBudget: *cursorBudget,
+		MaxBatch:            *maxBatch,
+		TTL:                 *ttl,
+		Tracer:              tracer,
+		Obs:                 rec,
+		Stats:               counters,
+	}, func(mux *http.ServeMux) {
+		mux.Handle("/metrics", distjoin.MetricsHandler(rec, counters))
+		mux.Handle("/debug/queries", distjoin.QueriesHandler("/debug/queries", tracer))
+		mux.Handle("/debug/queries/", distjoin.QueriesHandler("/debug/queries", tracer))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	})
+	if err != nil {
+		fmt.Fprintf(errw, "distjoind: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(errw, "distjoind: serving %d indexes on %s\n", len(reg.List()), running.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(errw, "distjoind: %v — shutting down\n", s)
+	start := time.Now()
+	if err := running.Close(); err != nil {
+		fmt.Fprintf(errw, "distjoind: shutdown: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(errw, "distjoind: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	return 0
+}

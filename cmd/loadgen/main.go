@@ -1,0 +1,269 @@
+// Command loadgen drives a running distjoind with many concurrent cursor
+// sessions and reports per-pull latency percentiles against an SLO. Each
+// session is one resumable cursor: create, pull -pulls batches of -k
+// pairs, delete. Sessions run -concurrency at a time until -sessions have
+// completed; 409/429 responses (admission control doing its job) are
+// retried with backoff and counted, not failed.
+//
+//	distjoind -demo 100000 -addr :8080 &
+//	loadgen -addr localhost:8080 -sessions 200 -concurrency 16 -pulls 10 -k 100 -slo-p95 50ms
+//
+// The exit status is non-zero when the p95 create-or-pull latency exceeds
+// -slo-p95 (0 disables the gate), so the command doubles as a CI check.
+// -json emits the full report as one JSON document on stdout.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// report is the machine-readable result document.
+type report struct {
+	Sessions    int           `json:"sessions"`
+	Concurrency int           `json:"concurrency"`
+	PullsPerSes int           `json:"pulls_per_session"`
+	K           int           `json:"k"`
+	Kind        string        `json:"kind"`
+	Pairs       int64         `json:"pairs"`
+	Pulls       int           `json:"pulls"`
+	Failures    int64         `json:"failures"`
+	Throttled   int64         `json:"throttled"`
+	Wall        time.Duration `json:"wall_ns"`
+	CreateP50   time.Duration `json:"create_p50_ns"`
+	CreateP95   time.Duration `json:"create_p95_ns"`
+	CreateP99   time.Duration `json:"create_p99_ns"`
+	PullP50     time.Duration `json:"pull_p50_ns"`
+	PullP95     time.Duration `json:"pull_p95_ns"`
+	PullP99     time.Duration `json:"pull_p99_ns"`
+	SLOP95      time.Duration `json:"slo_p95_ns"`
+	SLOMet      bool          `json:"slo_met"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "distjoind host:port")
+		sessions    = fs.Int("sessions", 50, "total cursor sessions to run")
+		concurrency = fs.Int("concurrency", 8, "sessions in flight at once")
+		pulls       = fs.Int("pulls", 5, "next-pulls per session")
+		k           = fs.Int("k", 50, "pairs per pull")
+		kind        = fs.String("kind", "join", "operation: join, semijoin, knn, clustering")
+		index1      = fs.String("index1", "water", "first index name")
+		index2      = fs.String("index2", "roads", "second index name")
+		knnK        = fs.Int("knn-k", 3, "k for -kind knn")
+		sloP95      = fs.Duration("slo-p95", 0, "fail (exit 1) when p95 latency exceeds this (0 = no gate)")
+		jsonOut     = fs.Bool("json", false, "print the report as JSON on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *sessions < 1 || *concurrency < 1 || *pulls < 1 || *k < 1 {
+		fmt.Fprintln(errw, "loadgen: -sessions, -concurrency, -pulls and -k must be positive")
+		return 2
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		mu                 sync.Mutex
+		createLat, pullLat []time.Duration
+		pairs, failures    int64
+		throttled          int64
+		wg                 sync.WaitGroup
+		sem                = make(chan struct{}, *concurrency)
+	)
+	record := func(lat *[]time.Duration, d time.Duration) {
+		mu.Lock()
+		*lat = append(*lat, d)
+		mu.Unlock()
+	}
+	fail := func(format string, a ...any) {
+		mu.Lock()
+		failures++
+		mu.Unlock()
+		fmt.Fprintf(errw, "loadgen: "+format+"\n", a...)
+	}
+
+	// doRetry performs req, retrying 409/429 (admission pushback) with
+	// linear backoff. Any other outcome is returned as-is.
+	doRetry := func(mk func() (*http.Request, error)) (*http.Response, []byte, error) {
+		for attempt := 0; ; attempt++ {
+			req, err := mk()
+			if err != nil {
+				return nil, nil, err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return nil, nil, err
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			if (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusConflict) && attempt < 50 {
+				mu.Lock()
+				throttled++
+				mu.Unlock()
+				time.Sleep(time.Duration(attempt+1) * 2 * time.Millisecond)
+				continue
+			}
+			return resp, raw, nil
+		}
+	}
+
+	start := time.Now()
+	for s := 0; s < *sessions; s++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+
+			qreq := map[string]any{
+				"kind": *kind, "index1": *index1, "index2": *index2,
+				"max_pairs": *pulls * *k,
+			}
+			if *kind == "knn" {
+				qreq["k"] = *knnK
+			}
+			body, _ := json.Marshal(qreq)
+			t0 := time.Now()
+			resp, raw, err := doRetry(func() (*http.Request, error) {
+				return http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+			})
+			if err != nil {
+				fail("session %d create: %v", s, err)
+				return
+			}
+			record(&createLat, time.Since(t0))
+			if resp.StatusCode != http.StatusCreated {
+				fail("session %d create: %d: %s", s, resp.StatusCode, raw)
+				return
+			}
+			var cr struct {
+				Cursor string `json:"cursor"`
+			}
+			if err := json.Unmarshal(raw, &cr); err != nil {
+				fail("session %d create: %v", s, err)
+				return
+			}
+
+			for p := 0; p < *pulls; p++ {
+				t0 := time.Now()
+				resp, raw, err := doRetry(func() (*http.Request, error) {
+					return http.NewRequest(http.MethodGet,
+						fmt.Sprintf("%s/v1/cursor/%s/next?k=%d", base, cr.Cursor, *k), nil)
+				})
+				if err != nil {
+					fail("session %d pull %d: %v", s, p, err)
+					return
+				}
+				record(&pullLat, time.Since(t0))
+				if resp.StatusCode != http.StatusOK {
+					fail("session %d pull %d: %d: %s", s, p, resp.StatusCode, raw)
+					return
+				}
+				var nr struct {
+					Pairs []json.RawMessage `json:"pairs"`
+					Done  bool              `json:"done"`
+				}
+				if err := json.Unmarshal(raw, &nr); err != nil {
+					fail("session %d pull %d: %v", s, p, err)
+					return
+				}
+				mu.Lock()
+				pairs += int64(len(nr.Pairs))
+				mu.Unlock()
+				if nr.Done {
+					break
+				}
+			}
+
+			req, _ := http.NewRequest(http.MethodDelete, base+"/v1/cursor/"+cr.Cursor, nil)
+			if resp, err := client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		PullsPerSes: *pulls,
+		K:           *k,
+		Kind:        *kind,
+		Pairs:       pairs,
+		Pulls:       len(pullLat),
+		Failures:    failures,
+		Throttled:   throttled,
+		Wall:        wall,
+		CreateP50:   percentile(createLat, 0.50),
+		CreateP95:   percentile(createLat, 0.95),
+		CreateP99:   percentile(createLat, 0.99),
+		PullP50:     percentile(pullLat, 0.50),
+		PullP95:     percentile(pullLat, 0.95),
+		PullP99:     percentile(pullLat, 0.99),
+		SLOP95:      *sloP95,
+	}
+	worstP95 := rep.CreateP95
+	if rep.PullP95 > worstP95 {
+		worstP95 = rep.PullP95
+	}
+	rep.SLOMet = *sloP95 == 0 || (failures == 0 && worstP95 <= *sloP95)
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Fprintf(out, "loadgen: %d sessions × %d pulls × k=%d (%s), concurrency %d\n",
+			*sessions, *pulls, *k, *kind, *concurrency)
+		fmt.Fprintf(out, "  %d pairs over %d pulls in %v (%d throttled, %d failures)\n",
+			pairs, len(pullLat), wall.Round(time.Millisecond), throttled, failures)
+		fmt.Fprintf(out, "  create  p50 %-10v p95 %-10v p99 %v\n", rep.CreateP50, rep.CreateP95, rep.CreateP99)
+		fmt.Fprintf(out, "  pull    p50 %-10v p95 %-10v p99 %v\n", rep.PullP50, rep.PullP95, rep.PullP99)
+	}
+	if !rep.SLOMet {
+		fmt.Fprintf(errw, "loadgen: SLO violated: worst p95 %v > %v (or failures)\n", worstP95, *sloP95)
+		return 1
+	}
+	return 0
+}
+
+// percentile returns the q-th latency quantile by nearest-rank on a sorted
+// copy; zero when no samples were collected.
+func percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lat))
+	copy(s, lat)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q*float64(len(s))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

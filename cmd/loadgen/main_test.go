@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"distjoin"
+	"distjoin/internal/datagen"
+	"distjoin/internal/server"
+)
+
+// startService boots an in-process query service over demo indexes and
+// returns its host:port.
+func startService(t *testing.T) string {
+	t.Helper()
+	water := distjoin.NewIndexFromPoints(datagen.Water(7, 400))
+	roads := distjoin.NewIndexFromPoints(datagen.Roads(8, 600))
+	t.Cleanup(func() { water.Close(); roads.Close() })
+	reg := server.NewRegistry()
+	if err := reg.RegisterIndex("water", water); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterIndex("roads", roads); err != nil {
+		t.Fatal(err)
+	}
+	running, err := server.Start("127.0.0.1:0", server.Config{Registry: reg, TTL: time.Minute}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { running.Close() })
+	return running.Addr()
+}
+
+func TestLoadgenReport(t *testing.T) {
+	addr := startService(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", addr,
+		"-sessions", "12", "-concurrency", "4",
+		"-pulls", "3", "-k", "20",
+		"-json",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("failures: %d\n%s", rep.Failures, errb.String())
+	}
+	// 12 sessions × 3 pulls × 20 pairs, MaxPairs = 60 per session.
+	if rep.Pairs != 12*60 {
+		t.Fatalf("pairs = %d, want %d", rep.Pairs, 12*60)
+	}
+	if rep.Pulls != 12*3 {
+		t.Fatalf("pulls = %d, want %d", rep.Pulls, 12*3)
+	}
+	if rep.PullP50 <= 0 || rep.PullP95 < rep.PullP50 || rep.PullP99 < rep.PullP95 {
+		t.Fatalf("percentiles not monotone: %+v", rep)
+	}
+	if !rep.SLOMet {
+		t.Fatal("SLO gate tripped with no SLO configured")
+	}
+}
+
+func TestLoadgenSLOGate(t *testing.T) {
+	addr := startService(t)
+	var out, errb bytes.Buffer
+	// 1ns p95 SLO is unmeetable over real HTTP: the gate must trip.
+	code := run([]string{
+		"-addr", addr,
+		"-sessions", "4", "-concurrency", "2",
+		"-pulls", "2", "-k", "10",
+		"-slo-p95", "1ns",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "SLO violated") {
+		t.Fatalf("no SLO message: %s", errb.String())
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sessions", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{5, 1, 4, 2, 3} // sorted: 1..5
+	if p := percentile(lat, 0.50); p != 3 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := percentile(lat, 0.95); p != 5 {
+		t.Fatalf("p95 = %d", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %d", p)
+	}
+}

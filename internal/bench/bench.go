@@ -11,12 +11,17 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"distjoin"
 	"distjoin/internal/datagen"
 	"distjoin/internal/profile"
+	"distjoin/internal/server"
 )
 
 // MinCoverage is the minimum fraction of a sequential workload's wall time
@@ -74,6 +79,13 @@ type Workload struct {
 	// Semi selects the distance semi-join (FilterLocal) instead of the
 	// distance join.
 	Semi bool
+	// Server drains the workload through the HTTP cursor service instead
+	// of the in-process iterator: one resumable cursor, pulled in fixed
+	// batches over loopback. Engine work counters stay deterministic and
+	// gate as usual; phase coverage is not checked — the wall time spent
+	// in HTTP transport is invisible to the engine's span accounting by
+	// design.
+	Server bool
 	// Pairs bounds the drain loop.
 	Pairs int
 	// Explain attaches cost-model predicted-vs-actual rows to the profile.
@@ -118,6 +130,12 @@ func Matrix(s Scale) []Workload {
 			return o
 		}()},
 		{Name: "semi-local-hybrid", Deterministic: true, Semi: true, Pairs: semiPairs, Opts: hybrid},
+		// The network leg: the same hybrid join drained through a resumable
+		// server cursor in fixed HTTP batches. Its counters must match the
+		// in-process legs (the cursor layer may not change what the engine
+		// does); its wall-clock rows additionally track per-pull service
+		// overhead across trajectory points.
+		{Name: "server-cursor-hybrid", Deterministic: true, Server: true, Pairs: s.Pairs, Opts: hybrid},
 	}
 }
 
@@ -166,6 +184,10 @@ func (d *Datasets) RunWorkload(w Workload) (*distjoin.Profile, error) {
 	pf.AttachIndex(d.Water)
 	pf.AttachIndex(d.Roads)
 
+	if w.Server {
+		return d.runServerWorkload(w, opts, pf)
+	}
+
 	// The profiled window is exactly iterator open -> drain -> close;
 	// anything else (cache drops above, explain sampling below) would
 	// dilute phase coverage with time the spans cannot see.
@@ -211,6 +233,95 @@ func (d *Datasets) RunWorkload(w Workload) (*distjoin.Profile, error) {
 			return nil, fmt.Errorf("bench: workload %q: explain: %w", w.Name, err)
 		}
 		prof.Explain = rows
+	}
+	return prof, nil
+}
+
+// runServerWorkload drains the workload through the HTTP cursor service:
+// it serves both indexes on loopback with the profiler-attached options as
+// the server's BaseOptions template, opens one cursor, and pulls
+// serverBatch pairs per request until the workload's pair target is met.
+// The profiled window covers create -> pulls -> delete, so the profile's
+// wall-clock rows include the service overhead while the work counters
+// remain exactly the engine's (and therefore gate deterministically).
+func (d *Datasets) runServerWorkload(w Workload, opts distjoin.Options, pf *distjoin.Profiler) (*distjoin.Profile, error) {
+	const serverBatch = 128
+
+	reg := server.NewRegistry()
+	if err := reg.RegisterIndex("water", d.Water); err != nil {
+		return nil, err
+	}
+	if err := reg.RegisterIndex("roads", d.Roads); err != nil {
+		return nil, err
+	}
+	running, err := server.Start("127.0.0.1:0", server.Config{
+		Registry:    reg,
+		BaseOptions: opts,
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: workload %q: starting server: %w", w.Name, err)
+	}
+	defer running.Close()
+	base := "http://" + running.Addr()
+
+	pf.Start()
+	body, _ := json.Marshal(server.QueryRequest{
+		Kind: "join", Index1: "water", Index2: "roads", MaxPairs: w.Pairs,
+	})
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("bench: workload %q: create: %d: %s", w.Name, resp.StatusCode, raw)
+	}
+	var cr server.CreateResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		return nil, err
+	}
+
+	var reported int64
+	for reported < int64(w.Pairs) {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/cursor/%s/next?k=%d", base, cr.Cursor, serverBatch))
+		if err != nil {
+			return nil, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("bench: workload %q: next: %d: %s", w.Name, resp.StatusCode, raw)
+		}
+		var nr server.NextResponse
+		if err := json.Unmarshal(raw, &nr); err != nil {
+			return nil, err
+		}
+		for _, p := range nr.Pairs {
+			reported++
+			if isMark(reported) || reported == int64(w.Pairs) {
+				pf.MarkKth(reported, p.Dist)
+			}
+		}
+		if nr.Done {
+			break
+		}
+	}
+
+	// DELETE closes the engine iterator, which lands the span tree the
+	// profiler reads in Finish.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/cursor/"+cr.Cursor, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		return nil, fmt.Errorf("bench: workload %q: delete: %d", w.Name, dresp.StatusCode)
+	}
+	prof := pf.Finish(w.Name)
+	if reported == 0 {
+		return nil, fmt.Errorf("bench: workload %q reported no pairs", w.Name)
 	}
 	return prof, nil
 }

@@ -263,7 +263,7 @@ func (e *engine) queueStore(pageSize int) (pager.Store, error) {
 	case e.opts.QueueStore != nil:
 		s, err := e.opts.QueueStore(pageSize)
 		if err != nil {
-			return nil, fmt.Errorf("distjoin: QueueStore factory: %w", err)
+			return nil, fmt.Errorf("%w: %w", ErrQueueStore, err)
 		}
 		store = s
 	case e.opts.HybridInMemory:

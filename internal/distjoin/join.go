@@ -84,6 +84,10 @@ func buildRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, er
 // ErrIteratorClosed is returned by Next after Close.
 var ErrIteratorClosed = errors.New("distjoin: iterator is closed")
 
+// ErrQueueStore wraps every failure of the Options.QueueStore factory, so
+// callers can tell a broken storage backend from invalid join options.
+var ErrQueueStore = errors.New("distjoin: QueueStore factory")
+
 // iterState is the terminal-state machine shared by Join and SemiJoin: it
 // latches the first error a runner surfaces (every later Next returns the
 // same error, and Err exposes it), makes Close idempotent, and rejects

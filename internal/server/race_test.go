@@ -1,0 +1,230 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentClients hammers one server with many concurrent sessions —
+// full drains, mid-stream disconnects, abandons, and deletes — and checks
+// nothing leaks. Run under -race this is the service's main concurrency
+// test: the cursor table, budget ledger, admission semaphore, janitor, and
+// tracer all contend here.
+func TestConcurrentClients(t *testing.T) {
+	f := newFixture(t, 120, 200, func(c *Config) {
+		c.MaxCursors = 64
+		c.MaxInflight = 64
+		c.TTL = 50 * time.Millisecond // abandoned cursors must expire mid-test
+	})
+
+	const clients = 24
+	var wg sync.WaitGroup
+	var drained, disconnected, abandoned atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := QueryRequest{Kind: "join", Index1: "water", Index2: "roads", MaxPairs: 40}
+			if i%3 == 1 {
+				req = QueryRequest{Kind: "semijoin", Index1: "water", Index2: "roads", Filter: "inside2"}
+			}
+			code, raw := f.do(t, http.MethodPost, "/v1/query", req)
+			if code == http.StatusTooManyRequests {
+				return // admission control said no; that is a valid outcome
+			}
+			if code != http.StatusCreated {
+				t.Errorf("client %d: create %d: %s", i, code, raw)
+				return
+			}
+			id := jsonField(t, raw, "cursor")
+			switch i % 4 {
+			case 0, 1: // drain in small batches, then delete
+				for pulls := 0; pulls < 50; pulls++ {
+					code, raw := f.do(t, http.MethodGet, "/v1/cursor/"+id+"/next?k=7", nil)
+					if code == http.StatusConflict || code == http.StatusTooManyRequests {
+						continue // contention responses are fine; retry
+					}
+					if code == http.StatusGone {
+						return // janitor beat us to an abandoned-looking cursor
+					}
+					if code != http.StatusOK {
+						t.Errorf("client %d: next %d: %s", i, code, raw)
+						return
+					}
+					if strings.Contains(string(raw), `"done":true`) {
+						drained.Add(1)
+						break
+					}
+				}
+				f.do(t, http.MethodDelete, "/v1/cursor/"+id, nil)
+			case 2: // mid-stream disconnect: read a few bytes and slam the socket
+				resp, err := f.ts.Client().Get(f.ts.URL + "/v1/cursor/" + id + "/stream?k=1000000")
+				if err == nil {
+					buf := make([]byte, 256)
+					io.ReadFull(resp.Body, buf)
+					resp.Body.Close() // disconnect with the stream unfinished
+				}
+				disconnected.Add(1)
+				f.do(t, http.MethodDelete, "/v1/cursor/"+id, nil)
+			case 3: // abandon: rely on the TTL janitor to reclaim
+				f.do(t, http.MethodGet, "/v1/cursor/"+id+"/next?k=3", nil)
+				abandoned.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Abandoned cursors die by TTL; wait for the janitor to reap them all.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.srv.OpenCursors() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := f.srv.OpenCursors(); n != 0 {
+		t.Fatalf("%d cursors still open after TTL", n)
+	}
+	if used := f.srv.BudgetUsed(); used != 0 {
+		t.Fatalf("budget leaked: %d bytes", used)
+	}
+	if active := f.tracer.Active(); active != 0 {
+		t.Fatalf("%d queries still active in tracer", active)
+	}
+	t.Logf("drained=%d disconnected=%d abandoned=%d",
+		drained.Load(), disconnected.Load(), abandoned.Load())
+}
+
+// TestTTLExpiryDuringPull drives the doomed path deterministically: the
+// janitor sweeps while a pull holds the op lock, so eviction must defer to
+// the end of the pull instead of closing the engine under the reader.
+func TestTTLExpiryDuringPull(t *testing.T) {
+	f := newFixture(t, 100, 150, func(c *Config) {
+		c.TTL = time.Hour           // janitor never fires on its own
+		c.SweepInterval = time.Hour // we call sweep by hand
+	})
+	cr := f.create(t, QueryRequest{Kind: "join", Index1: "water", Index2: "roads", MaxPairs: 30})
+
+	// Take the op lock exactly as an in-flight pull would.
+	c, herr := f.srv.beginPull(cr.Cursor)
+	if herr != nil {
+		t.Fatalf("beginPull: %v", herr)
+	}
+
+	// Sweep far in the future: the cursor is expired but busy, so the
+	// janitor may only doom it.
+	f.srv.sweep(time.Now().Add(2 * time.Hour))
+	c.st.Lock()
+	doomed, closed := c.doomed, c.closed
+	c.st.Unlock()
+	if !doomed || closed {
+		t.Fatalf("after sweep: doomed=%v closed=%v, want doomed, not closed", doomed, closed)
+	}
+
+	// The in-flight pull still works — the engine is alive under us.
+	pairs, done, err := f.srv.pull(c, 5)
+	if err != nil || done || len(pairs) != 5 {
+		t.Fatalf("pull on doomed cursor: %d pairs done=%v err=%v", len(pairs), done, err)
+	}
+
+	// Releasing the pull completes the eviction (endPull also frees the
+	// in-flight slot beginPull took).
+	f.srv.endPull(c)
+	if n := f.srv.OpenCursors(); n != 0 {
+		t.Fatalf("doomed cursor not evicted at end of pull: %d open", n)
+	}
+	c.st.Lock()
+	closed = c.closed
+	c.st.Unlock()
+	if !closed {
+		t.Fatal("engine not closed after doomed eviction")
+	}
+
+	// The id now answers 410, and the trace landed with the pairs the pull
+	// managed to report.
+	code, _ := f.do(t, http.MethodGet, "/v1/cursor/"+cr.Cursor+"/next?k=1", nil)
+	if code != http.StatusGone {
+		t.Fatalf("evicted cursor: %d, want 410", code)
+	}
+	if tr := f.tracer.Trace(cr.Cursor); tr == nil || tr.Resources.Pairs != 5 {
+		t.Fatalf("trace after doomed eviction = %+v", tr)
+	}
+}
+
+// TestShutdownClosesEverything opens cursors in several states (untouched,
+// mid-drain, parallel engines), shuts the server down, and verifies every
+// engine iterator was closed: goroutine count returns to baseline, the
+// tracer has no active queries, and the budget ledger is empty.
+func TestShutdownClosesEverything(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	f := newFixture(t, 150, 250, func(c *Config) { c.MaxCursors = 16 })
+	ids := make([]string, 0, 6)
+	for i := 0; i < 3; i++ {
+		cr := f.create(t, QueryRequest{Kind: "join", Index1: "water", Index2: "roads"})
+		ids = append(ids, cr.Cursor)
+	}
+	// Parallel engines spin up worker goroutines that Close must reap.
+	for i := 0; i < 2; i++ {
+		cr := f.create(t, QueryRequest{Kind: "join", Index1: "water", Index2: "roads", Parallelism: 3})
+		f.next(t, cr.Cursor, 10)
+		ids = append(ids, cr.Cursor)
+	}
+	cr := f.create(t, QueryRequest{Kind: "semijoin", Index1: "water", Index2: "roads"})
+	f.next(t, cr.Cursor, 5)
+	ids = append(ids, cr.Cursor)
+
+	if err := f.srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n := f.srv.OpenCursors(); n != 0 {
+		t.Fatalf("%d cursors open after shutdown", n)
+	}
+	if used := f.srv.BudgetUsed(); used != 0 {
+		t.Fatalf("budget held after shutdown: %d", used)
+	}
+	if active := f.tracer.Active(); active != 0 {
+		t.Fatalf("%d tracer-active queries after shutdown", active)
+	}
+	// Every trace landed (engine Close fires the tracer completion).
+	for _, id := range ids {
+		if f.tracer.Trace(id) == nil {
+			t.Errorf("no trace for %s after shutdown", id)
+		}
+	}
+	f.ts.Close()
+
+	// Engine worker goroutines must be gone. Poll: goroutine exit is
+	// asynchronous after Close returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 { // httptest leaves a couple idle
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// jsonField extracts a top-level string field without a full decode — handy
+// inside racing goroutines.
+func jsonField(t testing.TB, raw []byte, key string) string {
+	t.Helper()
+	marker := fmt.Sprintf("%q:", key)
+	i := strings.Index(string(raw), marker)
+	if i < 0 {
+		t.Fatalf("no %q in %s", key, raw)
+	}
+	rest := string(raw)[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	k := strings.IndexByte(rest[j+1:], '"')
+	return rest[j+1 : j+1+k]
+}

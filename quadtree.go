@@ -83,3 +83,15 @@ func DistanceJoinIndexes(a, b SpatialIndex, opts Options) (*Join, error) {
 func DistanceSemiJoinIndexes(a, b SpatialIndex, filter SemiFilter, opts Options) (*SemiJoin, error) {
 	return distjoin.NewSemiJoinIndexes(a, b, filter, opts)
 }
+
+// KNearestJoinIndexes starts an incremental k-nearest-neighbours join over
+// any two SpatialIndex implementations (k = 1 is the distance semi-join).
+func KNearestJoinIndexes(a, b SpatialIndex, k int, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	return distjoin.NewKNearestJoinIndexes(a, b, k, filter, opts)
+}
+
+// ClusteringJoinIndexes starts the symmetric clustering join (see
+// ClusteringJoin) over any two SpatialIndex implementations.
+func ClusteringJoinIndexes(a, b SpatialIndex, filter SemiFilter, opts Options) (*SemiJoin, error) {
+	return distjoin.NewClusteringJoinIndexes(a, b, filter, opts)
+}

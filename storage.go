@@ -37,3 +37,7 @@ var ErrTransientIO = pager.ErrTransient
 
 // ErrIteratorClosed is returned by Join.Next / SemiJoin.Next after Close.
 var ErrIteratorClosed = distjoin.ErrIteratorClosed
+
+// ErrQueueStore wraps every failure of the Options.QueueStore factory, so
+// callers can tell a broken storage backend from invalid join options.
+var ErrQueueStore = distjoin.ErrQueueStore
