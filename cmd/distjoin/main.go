@@ -7,6 +7,7 @@
 //	distjoin -a water.csv -b roads.csv [-semi] [-k 10] [-min d] [-max d]
 //	         [-metric euclidean|manhattan|chessboard] [-reverse] [-parallel n]
 //	         [-queue memory|hybrid] [-queue-dt d] [-retries n] [-retry-backoff 1ms]
+//	         [-timeout d]
 //	         [-stats] [-stats-json] [-trace file] [-metrics-addr :8090]
 //	         [-progress] [-linger 30s] [-explain] [-explain-json]
 //	         [-flightrec n] [-slowlog file] [-slow-wall d] [-slow-nodeio n]
@@ -45,7 +46,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -71,6 +74,7 @@ type cliOptions struct {
 	queueDT      float64
 	retries      int
 	retryBackoff time.Duration
+	timeout      time.Duration
 	showStats    bool
 	statsJSON    bool
 	tracePath    string
@@ -105,6 +109,7 @@ func main() {
 	flag.Float64Var(&o.queueDT, "queue-dt", 0, "with -queue hybrid: bucket width D_T (0 = adaptive)")
 	flag.IntVar(&o.retries, "retries", 0, "retry transient queue-storage I/O errors up to this many attempts")
 	flag.DurationVar(&o.retryBackoff, "retry-backoff", time.Millisecond, "initial backoff between I/O retries (doubles per attempt)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-time budget for the whole run; the pairs delivered before it lapses are a correct closest-first prefix (0 = unlimited)")
 	flag.BoolVar(&o.showStats, "stats", false, "print performance counters to stderr when done")
 	flag.BoolVar(&o.statsJSON, "stats-json", false, "print the final performance counters as JSON on stdout after the pairs")
 	flag.StringVar(&o.tracePath, "trace", "", "write a JSONL event trace to this file")
@@ -251,7 +256,18 @@ func run(o cliOptions) error {
 		}
 	}
 
+	// A -timeout budget rides Options.Context into the engine: when the
+	// deadline lapses the iterator surfaces ErrCanceled and the pairs
+	// already printed are a correct closest-first prefix of the join.
+	runCtx := context.Context(nil)
+	if o.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+		defer cancel()
+		runCtx = ctx
+	}
+
 	opts := distjoin.Options{
+		Context:     runCtx,
 		Metric:      metric,
 		MinDist:     o.minD,
 		MaxDist:     o.maxD,
@@ -302,6 +318,13 @@ func run(o cliOptions) error {
 	for {
 		p, ok, err := next()
 		if err != nil {
+			if errors.Is(err, distjoin.ErrCanceled) {
+				// Graceful degradation: the timeout cut the run short, but
+				// everything printed so far is the exact closest-first prefix.
+				// Report the truncation on stderr and finish normally.
+				fmt.Fprintf(os.Stderr, "distjoin: stopped after %d pairs: %v\n", nPairs, err)
+				break
+			}
 			return err
 		}
 		if !ok {

@@ -60,6 +60,9 @@ func run(args []string, errw *os.File) int {
 		memBudget            = fs.Int64("mem-budget", 0, "shared queue-memory budget in bytes across all cursors (0 = default)")
 		cursorBudget         = fs.Int64("cursor-budget", 0, "default per-cursor queue-memory reservation in bytes (0 = default)")
 		ttl                  = fs.Duration("cursor-ttl", 0, "idle cursor time-to-live before eviction (0 = default)")
+		cursorWall           = fs.Duration("cursor-wall", 0, "per-cursor total wall budget; older cursors are canceled (0 = unlimited)")
+		pullTimeout          = fs.Duration("pull-timeout", 0, "default soft deadline of one next/stream pull (0 = none)")
+		drainTimeout         = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown window on SIGINT/SIGTERM before open connections are cut")
 		maxBatch             = fs.Int("max-batch", 0, "largest k honoured by one next/stream pull (0 = default)")
 		flightRec            = fs.Int("flightrec", 256, "flight-recorder size: retain the last N query traces at /debug/queries")
 		slowLogPath          = fs.String("slowlog", "", "write slow-query traces to this file as JSONL")
@@ -162,6 +165,8 @@ func run(args []string, errw *os.File) int {
 		DefaultCursorBudget: *cursorBudget,
 		MaxBatch:            *maxBatch,
 		TTL:                 *ttl,
+		MaxCursorWall:       *cursorWall,
+		PullTimeout:         *pullTimeout,
 		Tracer:              tracer,
 		Obs:                 rec,
 		Stats:               counters,
@@ -181,10 +186,23 @@ func run(args []string, errw *os.File) int {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Fprintf(errw, "distjoind: %v — shutting down\n", s)
+	fmt.Fprintf(errw, "distjoind: %v — draining (up to %v)\n", s, *drainTimeout)
 	start := time.Now()
-	if err := running.Close(); err != nil {
-		fmt.Fprintf(errw, "distjoind: shutdown: %v\n", err)
+	// Graceful drain: /readyz flips to 503, every cursor is hard-canceled
+	// (live pulls surface the cancellation in their stream trailers), and
+	// the listener stays up through the window so clients observe their
+	// 410s; a second signal force-quits immediately.
+	done := make(chan error, 1)
+	go func() { done <- running.Shutdown(*drainTimeout) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(errw, "distjoind: shutdown: %v\n", err)
+			return 1
+		}
+	case s := <-sig:
+		fmt.Fprintf(errw, "distjoind: %v again — forcing exit\n", s)
+		running.Close()
 		return 1
 	}
 	fmt.Fprintf(errw, "distjoind: drained in %v\n", time.Since(start).Round(time.Millisecond))

@@ -11,6 +11,15 @@
 // The exit status is non-zero when the p95 create-or-pull latency exceeds
 // -slo-p95 (0 disables the gate), so the command doubles as a CI check.
 // -json emits the full report as one JSON document on stdout.
+//
+// -chaos turns each session hostile: pulls are randomly replaced by
+// mid-stream client disconnects (slam the socket partway through an NDJSON
+// stream) and by pulls under a tiny server-side deadline (?timeout_ms=1).
+// Both are soft events the server must absorb — the cursor stays resumable
+// and the session carries on — so chaos runs double as a cancellation
+// robustness check; the report counts the injected disconnects and the
+// deadline-truncated pulls. -chaos-seed makes an injection schedule
+// reproducible.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -28,24 +38,28 @@ import (
 
 // report is the machine-readable result document.
 type report struct {
-	Sessions    int           `json:"sessions"`
-	Concurrency int           `json:"concurrency"`
-	PullsPerSes int           `json:"pulls_per_session"`
-	K           int           `json:"k"`
-	Kind        string        `json:"kind"`
-	Pairs       int64         `json:"pairs"`
-	Pulls       int           `json:"pulls"`
-	Failures    int64         `json:"failures"`
-	Throttled   int64         `json:"throttled"`
-	Wall        time.Duration `json:"wall_ns"`
-	CreateP50   time.Duration `json:"create_p50_ns"`
-	CreateP95   time.Duration `json:"create_p95_ns"`
-	CreateP99   time.Duration `json:"create_p99_ns"`
-	PullP50     time.Duration `json:"pull_p50_ns"`
-	PullP95     time.Duration `json:"pull_p95_ns"`
-	PullP99     time.Duration `json:"pull_p99_ns"`
-	SLOP95      time.Duration `json:"slo_p95_ns"`
-	SLOMet      bool          `json:"slo_met"`
+	Sessions    int    `json:"sessions"`
+	Concurrency int    `json:"concurrency"`
+	PullsPerSes int    `json:"pulls_per_session"`
+	K           int    `json:"k"`
+	Kind        string `json:"kind"`
+	Pairs       int64  `json:"pairs"`
+	Pulls       int    `json:"pulls"`
+	Failures    int64  `json:"failures"`
+	Throttled   int64  `json:"throttled"`
+	// Chaos counters (all zero without -chaos): injected mid-stream client
+	// disconnects, and pulls the server truncated at the injected deadline.
+	ChaosDisconnects int64         `json:"chaos_disconnects"`
+	ChaosTimeouts    int64         `json:"chaos_timeouts"`
+	Wall             time.Duration `json:"wall_ns"`
+	CreateP50        time.Duration `json:"create_p50_ns"`
+	CreateP95        time.Duration `json:"create_p95_ns"`
+	CreateP99        time.Duration `json:"create_p99_ns"`
+	PullP50          time.Duration `json:"pull_p50_ns"`
+	PullP95          time.Duration `json:"pull_p95_ns"`
+	PullP99          time.Duration `json:"pull_p99_ns"`
+	SLOP95           time.Duration `json:"slo_p95_ns"`
+	SLOMet           bool          `json:"slo_met"`
 }
 
 func main() {
@@ -67,6 +81,8 @@ func run(args []string, out, errw io.Writer) int {
 		knnK        = fs.Int("knn-k", 3, "k for -kind knn")
 		sloP95      = fs.Duration("slo-p95", 0, "fail (exit 1) when p95 latency exceeds this (0 = no gate)")
 		jsonOut     = fs.Bool("json", false, "print the report as JSON on stdout")
+		chaos       = fs.Bool("chaos", false, "inject random mid-stream disconnects and per-pull deadlines")
+		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for the -chaos injection schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -80,12 +96,13 @@ func run(args []string, out, errw io.Writer) int {
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	var (
-		mu                 sync.Mutex
-		createLat, pullLat []time.Duration
-		pairs, failures    int64
-		throttled          int64
-		wg                 sync.WaitGroup
-		sem                = make(chan struct{}, *concurrency)
+		mu                    sync.Mutex
+		createLat, pullLat    []time.Duration
+		pairs, failures       int64
+		throttled             int64
+		disconnects, timeouts int64
+		wg                    sync.WaitGroup
+		sem                   = make(chan struct{}, *concurrency)
 	)
 	record := func(lat *[]time.Duration, d time.Duration) {
 		mu.Lock()
@@ -164,24 +181,62 @@ func run(args []string, out, errw io.Writer) int {
 				return
 			}
 
+			// The chaos schedule is per-session deterministic under
+			// -chaos-seed, so a failing run can be replayed.
+			var rng *rand.Rand
+			if *chaos {
+				rng = rand.New(rand.NewSource(*chaosSeed<<20 + int64(s)))
+			}
 			for p := 0; p < *pulls; p++ {
+				pullURL := fmt.Sprintf("%s/v1/cursor/%s/next?k=%d", base, cr.Cursor, *k)
+				chaosPull := false
+				if rng != nil {
+					switch rng.Intn(3) {
+					case 1:
+						// Mid-stream disconnect: open an NDJSON stream far
+						// larger than one batch, read a sliver, slam the
+						// socket. The server must stop engine work (the pull
+						// context dies) yet keep the cursor resumable for the
+						// session's next pull.
+						req, err := http.NewRequest(http.MethodGet,
+							fmt.Sprintf("%s/v1/cursor/%s/stream?k=%d", base, cr.Cursor, *k*100), nil)
+						if err == nil {
+							if resp, err := client.Do(req); err == nil {
+								io.ReadFull(resp.Body, make([]byte, 512))
+								resp.Body.Close()
+							}
+						}
+						mu.Lock()
+						disconnects++
+						mu.Unlock()
+						continue
+					case 2:
+						// Near-certain server-side truncation: the pull runs
+						// under a 1ms deadline and returns whatever prefix it
+						// managed, with the reason in the truncated field.
+						pullURL += "&timeout_ms=1"
+						chaosPull = true
+					}
+				}
 				t0 := time.Now()
 				resp, raw, err := doRetry(func() (*http.Request, error) {
-					return http.NewRequest(http.MethodGet,
-						fmt.Sprintf("%s/v1/cursor/%s/next?k=%d", base, cr.Cursor, *k), nil)
+					return http.NewRequest(http.MethodGet, pullURL, nil)
 				})
 				if err != nil {
 					fail("session %d pull %d: %v", s, p, err)
 					return
 				}
-				record(&pullLat, time.Since(t0))
+				if !chaosPull {
+					record(&pullLat, time.Since(t0))
+				}
 				if resp.StatusCode != http.StatusOK {
 					fail("session %d pull %d: %d: %s", s, p, resp.StatusCode, raw)
 					return
 				}
 				var nr struct {
-					Pairs []json.RawMessage `json:"pairs"`
-					Done  bool              `json:"done"`
+					Pairs     []json.RawMessage `json:"pairs"`
+					Done      bool              `json:"done"`
+					Truncated string            `json:"truncated"`
 				}
 				if err := json.Unmarshal(raw, &nr); err != nil {
 					fail("session %d pull %d: %v", s, p, err)
@@ -189,6 +244,9 @@ func run(args []string, out, errw io.Writer) int {
 				}
 				mu.Lock()
 				pairs += int64(len(nr.Pairs))
+				if nr.Truncated != "" {
+					timeouts++
+				}
 				mu.Unlock()
 				if nr.Done {
 					break
@@ -206,23 +264,25 @@ func run(args []string, out, errw io.Writer) int {
 	wall := time.Since(start)
 
 	rep := report{
-		Sessions:    *sessions,
-		Concurrency: *concurrency,
-		PullsPerSes: *pulls,
-		K:           *k,
-		Kind:        *kind,
-		Pairs:       pairs,
-		Pulls:       len(pullLat),
-		Failures:    failures,
-		Throttled:   throttled,
-		Wall:        wall,
-		CreateP50:   percentile(createLat, 0.50),
-		CreateP95:   percentile(createLat, 0.95),
-		CreateP99:   percentile(createLat, 0.99),
-		PullP50:     percentile(pullLat, 0.50),
-		PullP95:     percentile(pullLat, 0.95),
-		PullP99:     percentile(pullLat, 0.99),
-		SLOP95:      *sloP95,
+		Sessions:         *sessions,
+		Concurrency:      *concurrency,
+		PullsPerSes:      *pulls,
+		K:                *k,
+		Kind:             *kind,
+		Pairs:            pairs,
+		Pulls:            len(pullLat),
+		Failures:         failures,
+		Throttled:        throttled,
+		ChaosDisconnects: disconnects,
+		ChaosTimeouts:    timeouts,
+		Wall:             wall,
+		CreateP50:        percentile(createLat, 0.50),
+		CreateP95:        percentile(createLat, 0.95),
+		CreateP99:        percentile(createLat, 0.99),
+		PullP50:          percentile(pullLat, 0.50),
+		PullP95:          percentile(pullLat, 0.95),
+		PullP99:          percentile(pullLat, 0.99),
+		SLOP95:           *sloP95,
 	}
 	worstP95 := rep.CreateP95
 	if rep.PullP95 > worstP95 {
@@ -239,6 +299,10 @@ func run(args []string, out, errw io.Writer) int {
 			*sessions, *pulls, *k, *kind, *concurrency)
 		fmt.Fprintf(out, "  %d pairs over %d pulls in %v (%d throttled, %d failures)\n",
 			pairs, len(pullLat), wall.Round(time.Millisecond), throttled, failures)
+		if *chaos {
+			fmt.Fprintf(out, "  chaos   %d disconnects injected, %d pulls deadline-truncated\n",
+				disconnects, timeouts)
+		}
 		fmt.Fprintf(out, "  create  p50 %-10v p95 %-10v p99 %v\n", rep.CreateP50, rep.CreateP95, rep.CreateP99)
 		fmt.Fprintf(out, "  pull    p50 %-10v p95 %-10v p99 %v\n", rep.PullP50, rep.PullP95, rep.PullP99)
 	}

@@ -1,0 +1,424 @@
+package distjoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"distjoin/internal/faultstore"
+	"distjoin/internal/pager"
+	"distjoin/internal/pqueue"
+	"distjoin/internal/rtree"
+	"distjoin/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Cancellation sweep: the stop-anytime dual of the fault harness. A canceled
+// run must deliver exactly the ordered prefix it was allowed to produce,
+// then latch a sticky ErrCanceled — never a wrong pair, never a hang, never
+// a leaked goroutine or pinned pager frame.
+// ---------------------------------------------------------------------------
+
+// cancelIter is the common surface of Join and SemiJoin the sweep needs.
+type cancelIter interface {
+	Next() (Pair, bool, error)
+	Close() error
+	Err() error
+}
+
+// runnerOf exposes the execution strategy behind an iterator for white-box
+// assertions (hybrid-queue pin counts on the sequential path).
+func runnerOf(it cancelIter) runner {
+	switch v := it.(type) {
+	case *Join:
+		return v.s.r
+	case *SemiJoin:
+		return v.s.r
+	}
+	return nil
+}
+
+// assertNoPinnedFrames checks that a sequential hybrid engine holds no
+// buffer-pool pins while quiescent — a cancellation that struck mid-pop or
+// mid-retry must not abandon a pinned frame.
+func assertNoPinnedFrames(t *testing.T, it cancelIter) {
+	t.Helper()
+	e, ok := runnerOf(it).(*engine)
+	if !ok {
+		return
+	}
+	if hq, ok := e.q.(*pqueue.HybridQueue[qpair]); ok {
+		if n := hq.PinnedFrames(); n != 0 {
+			t.Fatalf("%d pager frames still pinned after cancellation", n)
+		}
+	}
+}
+
+// drainReference runs one configuration to completion with no context and
+// returns the full delivered stream as the oracle for canceled prefixes.
+func drainReference(t *testing.T, mk func(opts Options) (cancelIter, error), opts Options) []Pair {
+	t.Helper()
+	it, err := mk(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var ref []Pair
+	for {
+		p, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("reference run failed after %d pairs: %v", len(ref), err)
+		}
+		if !ok {
+			return ref
+		}
+		ref = append(ref, p)
+	}
+}
+
+// checkCanceledPrefix asserts got is a correct ordered prefix of ref:
+// distances match positionally (so tie reorderings between runs cannot
+// produce spurious failures) and every delivered pair exists in ref at its
+// reported distance, with no duplicates.
+func checkCanceledPrefix(t *testing.T, got, ref []Pair) {
+	t.Helper()
+	if len(got) > len(ref) {
+		t.Fatalf("canceled run delivered %d pairs, reference has %d", len(got), len(ref))
+	}
+	byPair := make(map[[2]rtree.ObjID]float64, len(ref))
+	for _, p := range ref {
+		byPair[[2]rtree.ObjID{p.Obj1, p.Obj2}] = p.Dist
+	}
+	seen := make(map[[2]rtree.ObjID]bool, len(got))
+	for i, p := range got {
+		if math.Abs(p.Dist-ref[i].Dist) > 1e-9 {
+			t.Fatalf("pair %d: dist %g, reference %g — not the ordered prefix", i, p.Dist, ref[i].Dist)
+		}
+		key := [2]rtree.ObjID{p.Obj1, p.Obj2}
+		d, ok := byPair[key]
+		if !ok {
+			t.Fatalf("pair %d: (%d,%d) not in the reference result", i, p.Obj1, p.Obj2)
+		}
+		if math.Abs(p.Dist-d) > 1e-9 {
+			t.Fatalf("pair %d: (%d,%d) at %g, true distance %g", i, p.Obj1, p.Obj2, p.Dist, d)
+		}
+		if seen[key] {
+			t.Fatalf("pair %d: (%d,%d) delivered twice", i, p.Obj1, p.Obj2)
+		}
+		seen[key] = true
+	}
+}
+
+// TestCancellationSweep is the acceptance sweep: cancel at evenly spread
+// points of the stream across {join, semijoin, knn} × {memory, hybrid} ×
+// {sequential, parallel}, 100+ cancellation points total. At every point the
+// delivered pairs must be the exact ordered prefix, the very next Next must
+// surface ErrCanceled (bounded cancel latency: the check sits at the top of
+// every step), the error must be sticky, the cancellation must be counted
+// once, and nothing may leak.
+func TestCancellationSweep(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	a := clusteredPoints(901, 55)
+	b := clusteredPoints(902, 65)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+
+	kinds := []struct {
+		name string
+		mk   func(opts Options) (cancelIter, error)
+	}{
+		{"join", func(opts Options) (cancelIter, error) {
+			opts.MaxPairs = 400
+			return NewJoin(ta, tb, opts)
+		}},
+		{"semijoin", func(opts Options) (cancelIter, error) {
+			return NewSemiJoin(ta, tb, FilterGlobalAll, opts)
+		}},
+		{"knn", func(opts Options) (cancelIter, error) {
+			return NewKNearestJoin(ta, tb, 3, FilterGlobalAll, opts)
+		}},
+	}
+	queues := []queueConfig{
+		{"mem", func(o *Options) { o.Queue = QueueMemory }},
+		{"hybrid", func(o *Options) {
+			o.Queue = QueueHybrid
+			o.HybridDT = 20
+			o.HybridInMemory = true
+		}},
+	}
+
+	const pointsPerConfig = 10
+	totalPoints := 0
+	for _, kd := range kinds {
+		for _, qc := range queues {
+			for _, par := range []int{1, 3} {
+				p := "seq"
+				if par > 1 {
+					p = "par"
+				}
+				kd, qc, par := kd, qc, par
+				t.Run(fmt.Sprintf("%s/%s/%s", kd.name, qc.name, p), func(t *testing.T) {
+					base := Options{Parallelism: par}
+					qc.apply(&base)
+					ref := drainReference(t, kd.mk, base)
+					if len(ref) < pointsPerConfig {
+						t.Fatalf("reference run too small: %d pairs", len(ref))
+					}
+					for i := 0; i < pointsPerConfig; i++ {
+						cut := i * len(ref) / pointsPerConfig
+						totalPoints++
+						ctx, cancel := context.WithCancel(context.Background())
+						opts := base
+						opts.Context = ctx
+						opts.Counters = &stats.Counters{}
+						it, err := kd.mk(opts)
+						if err != nil {
+							cancel()
+							t.Fatal(err)
+						}
+						var got []Pair
+						for len(got) < cut {
+							p, ok, err := it.Next()
+							if err != nil || !ok {
+								cancel()
+								t.Fatalf("cut %d: run ended early at %d pairs (ok=%v err=%v)", cut, len(got), ok, err)
+							}
+							got = append(got, p)
+						}
+						cancel()
+						// Bounded cancel latency: the very next Next after the
+						// cancel must surface the error — no extra pairs.
+						_, ok, err := it.Next()
+						if ok || err == nil {
+							t.Fatalf("cut %d: Next after cancel returned ok=%v err=%v", cut, ok, err)
+						}
+						if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+							t.Fatalf("cut %d: error %v does not wrap ErrCanceled and context.Canceled", cut, err)
+						}
+						// Sticky terminal state: repeated Next and Err agree.
+						if _, _, again := it.Next(); !errors.Is(again, err) {
+							t.Fatalf("cut %d: error not latched: %v then %v", cut, err, again)
+						}
+						if le := it.Err(); !errors.Is(le, ErrCanceled) {
+							t.Fatalf("cut %d: Err() = %v, want ErrCanceled", cut, le)
+						}
+						checkCanceledPrefix(t, got, ref)
+						assertNoPinnedFrames(t, it)
+						if err := it.Close(); err != nil {
+							t.Fatalf("cut %d: close after cancel: %v", cut, err)
+						}
+						if n := opts.Counters.Snapshot().Cancellations; n != 1 {
+							t.Fatalf("cut %d: Cancellations = %d, want 1", cut, n)
+						}
+					}
+				})
+			}
+		}
+	}
+	if totalPoints < 100 {
+		t.Fatalf("sweep exercised %d cancellation points, acceptance requires 100+", totalPoints)
+	}
+	waitForGoroutines(t, goroutinesBefore)
+}
+
+// TestDeadlineCancellation checks the deadline flavour: a context that times
+// out mid-run surfaces an error wrapping both ErrCanceled and
+// context.DeadlineExceeded, and context.Cause's verdict rides along.
+func TestDeadlineCancellation(t *testing.T) {
+	a := clusteredPoints(903, 80)
+	b := clusteredPoints(904, 90)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	j, err := NewJoin(ta, tb, Options{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var n int
+	for {
+		_, ok, err := j.Next()
+		if err != nil {
+			if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("error %v does not wrap ErrCanceled and DeadlineExceeded", err)
+			}
+			return
+		}
+		if !ok {
+			t.Skip("join exhausted before the 1ms deadline fired")
+		}
+		n++
+		// Park until the deadline has certainly lapsed; the next step's
+		// cancel check must then fire.
+		if n == 1 {
+			<-ctx.Done()
+		}
+	}
+}
+
+// TestCancelCausePropagates checks that a custom cancellation cause set via
+// context.WithCancelCause is preserved on the surfaced error chain.
+func TestCancelCausePropagates(t *testing.T) {
+	a := clusteredPoints(905, 40)
+	b := clusteredPoints(906, 40)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+
+	reason := errors.New("operator killed the query")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j, err := NewJoin(ta, tb, Options{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, _, err := j.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel(reason)
+	if _, _, err := j.Next(); !errors.Is(err, reason) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not carry the cancellation cause", err)
+	}
+}
+
+// TestCancelInterruptsRetryBackoff wires a huge retry backoff against a
+// permanently failing hybrid-queue store and cancels mid-ladder: the engine
+// context must cut the backoff sleep short (pager.ErrRetryInterrupted under
+// the hood) and surface ErrCanceled promptly instead of sleeping out the
+// ladder — and no pager frame may stay pinned behind it.
+func TestCancelInterruptsRetryBackoff(t *testing.T) {
+	a := clusteredPoints(907, 60)
+	b := clusteredPoints(908, 70)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{
+		Context:       ctx,
+		Queue:         QueueHybrid,
+		HybridDT:      4,
+		QueuePageSize: 256,
+		// A ladder that would sleep for minutes if uninterrupted.
+		RetryIO: pager.RetryPolicy{MaxAttempts: 1000, Backoff: 10 * time.Second},
+		QueueStore: func(pageSize int) (pager.Store, error) {
+			mem, err := pager.NewMemStore(pageSize)
+			if err != nil {
+				return nil, err
+			}
+			return faultstore.New(mem, faultstore.Config{
+				Seed:               909,
+				TransientWriteProb: 1, // every write fails: the retry ladder engages at once
+			}), nil
+		},
+	}
+	j, err := NewJoin(ta, tb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Cancel while the engine is (almost certainly) in its first backoff.
+	time.AfterFunc(50*time.Millisecond, func() { cancel() })
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		for {
+			_, ok, err := j.Next()
+			if err != nil || !ok {
+				done <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("interrupted retry surfaced %v, want ErrCanceled", err)
+		}
+		if !errors.Is(err, pager.ErrRetryInterrupted) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v names neither the interrupted ladder nor the canceled context", err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cancellation took %v to cut the backoff ladder", d)
+		}
+		assertNoPinnedFrames(t, j)
+	case <-time.After(testTimeout):
+		t.Fatalf("canceled retry ladder still sleeping after %v", testTimeout)
+	}
+}
+
+// TestCanceledParallelJoinLeaksNothing cancels a parallel hybrid join
+// mid-stream and asserts the merge surfaces ErrCanceled, every partition
+// worker exits, and Close is clean — the longest-correct-prefix drain of a
+// failed parallel run, driven by cancellation instead of a fault.
+func TestCanceledParallelJoinLeaksNothing(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	a := clusteredPoints(910, 120)
+	b := clusteredPoints(911, 140)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j, err := NewJoin(ta, tb, Options{
+		Context:        ctx,
+		Parallelism:    4,
+		Queue:          QueueHybrid,
+		HybridDT:       8,
+		HybridInMemory: true,
+		QueuePageSize:  512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, ok, err := j.Next(); err != nil || !ok {
+			t.Fatalf("pair %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	cancel()
+	if _, ok, err := j.Next(); ok || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Next after cancel: ok=%v err=%v", ok, err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close after cancel: %v", err)
+	}
+	waitForGoroutines(t, goroutinesBefore)
+}
+
+// TestBackgroundContextZeroCost pins the zero-overhead claim structurally: a
+// nil Options.Context and an explicit context.Background() both leave the
+// engine's cancellation channel nil, so the hot loop's only cost is one nil
+// test.
+func TestBackgroundContextZeroCost(t *testing.T) {
+	a := clusteredPoints(912, 30)
+	b := clusteredPoints(913, 30)
+	ta, tb := buildTree(t, a), buildTree(t, b)
+
+	for _, tc := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"nil", nil},
+		{"background", context.Background()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			j, err := NewJoin(ta, tb, Options{Context: tc.ctx})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j.Close()
+			e, ok := runnerOf(j).(*engine)
+			if !ok {
+				t.Fatal("sequential join did not use the sequential engine")
+			}
+			if e.ctxDone != nil {
+				t.Fatal("background context produced a non-nil cancellation channel — hot path would pay for it")
+			}
+			if _, ok, err := j.Next(); err != nil || !ok {
+				t.Fatalf("Next: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package distjoin
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -117,6 +118,17 @@ type engine struct {
 	qw     *qtrace.Worker
 	userSP *profile.Spans
 
+	// ctx and ctxDone carry the run's cancellation signal. ctxDone is
+	// ctx.Done() captured once at construction: nil for a nil or
+	// background context, in which case every cancellation check reduces
+	// to one nil comparison — the hot path stays identical to a build
+	// without cancellation (pinned by the gated bench counters and the
+	// zero-alloc test). popsToCheck counts down queue pops until the next
+	// in-loop check, bounding cancel latency within one long Next call.
+	ctx         context.Context
+	ctxDone     <-chan struct{}
+	popsToCheck int
+
 	reported  int
 	skip      int  // results to silently re-skip after a restart
 	restarted bool // the §2.2.4 restart has been used
@@ -140,19 +152,28 @@ func newEngineSeeded(t1, t2 SpatialIndex, opts Options, semi *semiState, seeds [
 		return nil, err
 	}
 	e := &engine{
-		t1:        t1,
-		t2:        t2,
-		opts:      opts,
-		dmin:      opts.MinDist,
-		dmaxCur:   opts.MaxDist,
-		semi:      semi,
-		sweep:     !opts.NoPlaneSweep,
-		seedPairs: seeds,
-		obs:       opts.Obs,
-		part:      part,
+		t1:           t1,
+		t2:           t2,
+		opts:         opts,
+		dmin:         opts.MinDist,
+		dmaxCur:      opts.MaxDist,
+		semi:         semi,
+		sweep:        !opts.NoPlaneSweep,
+		seedPairs:    seeds,
+		obs:          opts.Obs,
+		part:         part,
 		sp:           opts.Profile,
 		kern:         kernel.For(opts.Metric),
 		scalarExpand: opts.NoBatchKernels,
+	}
+	// Capture the cancellation signal before the queue is built: the retry
+	// policy wired into the hybrid queue's store selects on the same
+	// channel, so a canceled query also interrupts backoff sleeps.
+	// context.Background().Done() is nil, so an explicit background
+	// context costs exactly as much as no context at all.
+	if opts.Context != nil {
+		e.ctx = opts.Context
+		e.ctxDone = opts.Context.Done()
 	}
 	// Per-query tracing: record spans into the query's per-worker
 	// accumulator instead of the caller's Spans (single-writer — the
@@ -289,9 +310,15 @@ func (e *engine) queueStore(pageSize int) (pager.Store, error) {
 
 // retryPolicy extends the user's RetryIO callbacks with the engine's own
 // accounting: faults and retries land in the run's counters and the
-// observability trace, tagged with this engine's partition.
+// observability trace, tagged with this engine's partition. The run's
+// cancellation signal is wired into the policy's Done channel (unless the
+// caller supplied their own), so a canceled query abandons the backoff
+// ladder instead of sleeping through it.
 func (e *engine) retryPolicy() pager.RetryPolicy {
 	pol := e.opts.RetryIO
+	if pol.Done == nil {
+		pol.Done = e.ctxDone
+	}
 	userFault, userRetry := pol.OnFault, pol.OnRetry
 	counters, rec, part := e.opts.Counters, e.obs, e.part
 	pol.OnFault = func(op string, err error) {
@@ -673,10 +700,22 @@ func (e *engine) step() (Pair, bool, error) {
 		e.done = true
 		return Pair{}, false, nil
 	}
+	// Cancellation check, per Next call: a context canceled between Next
+	// calls is observed by the very next one, so the delivered prefix is
+	// exactly the pairs consumed before cancellation. With a nil or
+	// background context (ctxDone == nil) this is a single nil test.
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			return Pair{}, false, canceledErr(e.ctx)
+		default:
+		}
+		e.popsToCheck = cancelCheckEvery
+	}
 	for {
 		p, ok, err := e.pop()
 		if err != nil {
-			return Pair{}, false, err
+			return Pair{}, false, e.surface(err)
 		}
 		if !ok {
 			// The estimation of §2.2.4 may have over-tightened the maximum
@@ -684,12 +723,25 @@ func (e *engine) step() (Pair, bool, error) {
 			// the counts in M); the paper's remedy is to restart the query.
 			if (e.est != nil || e.revEst != nil) && !e.restarted && e.opts.MaxPairs > 0 && e.reported < e.opts.MaxPairs {
 				if err := e.restart(); err != nil {
-					return Pair{}, false, err
+					return Pair{}, false, e.surface(err)
 				}
 				continue
 			}
 			e.done = true
 			return Pair{}, false, nil
+		}
+		// In-loop cancellation check at a bounded cadence: a Next call
+		// that grinds through a long run of filtered pairs still observes
+		// cancellation within cancelCheckEvery pops.
+		if e.ctxDone != nil {
+			if e.popsToCheck--; e.popsToCheck <= 0 {
+				select {
+				case <-e.ctxDone:
+					return Pair{}, false, canceledErr(e.ctx)
+				default:
+				}
+				e.popsToCheck = cancelCheckEvery
+			}
 		}
 		if e.est != nil {
 			e.est.onPop(p)
@@ -732,7 +784,7 @@ func (e *engine) step() (Pair, bool, error) {
 		case p.i1.kind == kindOBR && p.i2.kind == kindOBR:
 			reportable, exact, err := e.resolveOBR(&p)
 			if err != nil {
-				return Pair{}, false, err
+				return Pair{}, false, e.surface(err)
 			}
 			if !exact {
 				continue // pruned by the distance range
@@ -744,11 +796,18 @@ func (e *engine) step() (Pair, bool, error) {
 			}
 		default:
 			if err := e.expand(p); err != nil {
-				return Pair{}, false, err
+				return Pair{}, false, e.surface(err)
 			}
 		}
 	}
 }
+
+// surface maps an engine-loop error before it is returned: an error that
+// arrives while the run's context is already canceled — e.g. a retry
+// ladder abandoned mid-backoff — is folded into ErrCanceled, so callers
+// see one coherent cancellation instead of a storage failure provoked by
+// their own cancel.
+func (e *engine) surface(err error) error { return wrapCanceled(e.ctx, err) }
 
 // report delivers an exact object pair, applying the range check and the
 // semi-join duplicate filter. The boolean is false when the pair must be

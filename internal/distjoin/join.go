@@ -5,6 +5,7 @@ import (
 
 	"distjoin/internal/qtrace"
 	"distjoin/internal/rtree"
+	"distjoin/internal/stats"
 )
 
 // runner is the execution strategy behind the public iterators: the
@@ -49,9 +50,9 @@ func queryKind(semi *semiState) string {
 // planning, queue construction, seeding) is the trace's plan span, and a
 // constructor failure finishes the trace immediately, error-annotated. On
 // success the returned query is finished by the iterator's Close.
-func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, *qtrace.Query, error) {
+func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, *qtrace.Query, *stats.Counters, error) {
 	if err := opts.validate(t1, t2, semi != nil); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	q := opts.Tracer.Begin(queryKind(semi), opts.QueryID)
 	opts.query = q
@@ -61,10 +62,10 @@ func newRunner(t1, t2 SpatialIndex, opts Options, semi *semiState) (runner, *qtr
 	if err != nil {
 		q.PlanDone(planStart)
 		q.Finish(err)
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	q.PlanDone(planStart)
-	return r, q, nil
+	return r, q, opts.Counters, nil
 }
 
 // buildRunner constructs the execution strategy on validated options.
@@ -96,7 +97,8 @@ var ErrQueueStore = errors.New("distjoin: QueueStore factory")
 // truncated success.
 type iterState struct {
 	r      runner
-	q      *qtrace.Query // nil unless Options.Tracer was set
+	q      *qtrace.Query   // nil unless Options.Tracer was set
+	c      *stats.Counters // effective run counters; may be nil
 	err    error
 	closed bool
 }
@@ -111,6 +113,12 @@ func (s *iterState) next() (Pair, bool, error) {
 	p, ok, err := s.r.next()
 	if err != nil {
 		s.err = err
+		// Count the query as canceled exactly once, at the moment the
+		// cancellation latches as the terminal error (Stats.Cancellations,
+		// surfaced as distjoin_queries_canceled_total on /metrics).
+		if errors.Is(err, ErrCanceled) {
+			s.c.AddCancellation(1)
+		}
 		return Pair{}, false, err
 	}
 	return p, ok, nil
@@ -130,6 +138,18 @@ func (s *iterState) close() error {
 	// latched terminal error (nil on a clean close).
 	s.q.Finish(s.err)
 	return err
+}
+
+// abort closes the iterator with cause latched as its terminal error, so
+// the query trace lands error-annotated even when no Next call surfaced
+// the failure (e.g. a panic that unwound past the iterator's caller). An
+// error already latched by Next wins; a nil cause makes abort a plain
+// close.
+func (s *iterState) abort(cause error) error {
+	if s.err == nil && cause != nil {
+		s.err = cause
+	}
+	return s.close()
 }
 
 // lastErr returns the latched terminal error, if any. Close by itself is
@@ -157,11 +177,11 @@ func NewJoin(t1, t2 *rtree.Tree, opts Options) (*Join, error) {
 // generality claim (§2.2): the same algorithm drives R-trees, quadtrees and
 // other hierarchical decompositions, in any combination.
 func NewJoinIndexes(t1, t2 SpatialIndex, opts Options) (*Join, error) {
-	r, q, err := newRunner(t1, t2, opts, nil)
+	r, q, c, err := newRunner(t1, t2, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Join{s: iterState{r: r, q: q}}, nil
+	return &Join{s: iterState{r: r, q: q, c: c}}, nil
 }
 
 // wrapTree adapts an R-tree, preserving nil for validation.
@@ -210,6 +230,12 @@ func (j *Join) Restarted() bool { return j.s.r.didRestart() }
 // exit. Close is idempotent; after it, Next returns ErrIteratorClosed.
 func (j *Join) Close() error { return j.s.close() }
 
+// Abort closes the iterator like Close but latches cause as its terminal
+// error when no Next call has surfaced one, annotating the query trace.
+// For callers (e.g. a server) that tear an iterator down after a failure
+// the engine itself never observed, such as a recovered panic.
+func (j *Join) Abort(cause error) error { return j.s.abort(cause) }
+
 // SemiJoin is an incremental distance semi-join iterator (§2.3): for each
 // first-input object, its nearest second-input object, reported in
 // ascending order of distance.
@@ -254,11 +280,11 @@ func NewClusteringJoinIndexes(t1, t2 SpatialIndex, filter SemiFilter, opts Optio
 	if filter < FilterOutside || filter > FilterGlobalAll {
 		return nil, errInvalidFilter(filter)
 	}
-	r, q, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
+	r, q, c, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: 1, symmetric: true})
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{s: iterState{r: r, q: q}}, nil
+	return &SemiJoin{s: iterState{r: r, q: q, c: c}}, nil
 }
 
 // NewKNearestJoinIndexes is NewKNearestJoin over arbitrary SpatialIndex
@@ -271,11 +297,11 @@ func NewKNearestJoinIndexes(t1, t2 SpatialIndex, k int, filter SemiFilter, opts 
 	if k < 1 {
 		return nil, errors.New("distjoin: k must be at least 1")
 	}
-	r, q, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: k})
+	r, q, c, err := newRunner(t1, t2, opts, &semiState{filter: filter, k: k})
 	if err != nil {
 		return nil, err
 	}
-	return &SemiJoin{s: iterState{r: r, q: q}}, nil
+	return &SemiJoin{s: iterState{r: r, q: q, c: c}}, nil
 }
 
 // Next returns the next semi-join pair. ok is false when every first-input
@@ -301,6 +327,10 @@ func (s *SemiJoin) Restarted() bool { return s.s.r.didRestart() }
 
 // Close releases queue resources. Idempotent; see Join.Close.
 func (s *SemiJoin) Close() error { return s.s.close() }
+
+// Abort closes the iterator like Close but latches cause as its terminal
+// error when no Next call has surfaced one, annotating the query trace.
+func (s *SemiJoin) Abort(cause error) error { return s.s.abort(cause) }
 
 func errInvalidFilter(f SemiFilter) error {
 	return &filterError{f: f}

@@ -1,6 +1,7 @@
 package distjoin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +81,20 @@ func (q QueueKind) String() string {
 
 // Options configures a distance join or distance semi-join.
 type Options struct {
+	// Context cancels the run: once it is canceled (or its deadline
+	// expires), Next returns an error wrapping ErrCanceled — sticky, like
+	// every iterator error — after delivering a correct ordered prefix of
+	// the result. The engine re-checks the context at the top of every
+	// Next call and every cancelCheckEvery queue pops inside it, parallel
+	// partition workers are canceled and drained, and retry backoff
+	// sleeps (Options.RetryIO) are cut short, so observed cancel latency
+	// is bounded by a constant amount of engine work.
+	//
+	// A nil Context behaves as context.Background(): never canceled, and
+	// provably free — the engine then skips every check (no channel
+	// reads, no branches beyond one nil test), leaving the hot path
+	// byte-identical to a build without cancellation.
+	Context context.Context
 	// Metric is the distance metric; geom.Euclidean when nil (the paper's
 	// choice).
 	Metric geom.Metric

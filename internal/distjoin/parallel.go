@@ -2,6 +2,7 @@ package distjoin
 
 import (
 	"cmp"
+	"context"
 	"runtime"
 	"slices"
 	"sync"
@@ -204,6 +205,14 @@ type parallelJoin struct {
 	sp       *profile.Spans  // caller's spans, merge target + PhaseMerge sink
 	q        *qtrace.Query   // per-query trace; nil when tracing is off
 
+	// ctx and ctxDone are the run's cancellation signal (nil channel for
+	// a nil or background context — the merge then performs no checks).
+	// Each partition engine checks the same context independently, so the
+	// first observer — merge or worker — wins and the rest drain through
+	// the PR-3 longest-correct-prefix machinery.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+
 	done     chan struct{} // closed to cancel workers
 	stop     sync.Once
 	wg       sync.WaitGroup
@@ -240,6 +249,10 @@ func newParallelJoin(t1, t2 SpatialIndex, opts Options, semiProto *semiState) (*
 		sp:       opts.Profile,
 		q:        opts.query,
 		done:     make(chan struct{}),
+	}
+	if opts.Context != nil {
+		r.ctx = opts.Context
+		r.ctxDone = opts.Context.Done()
 	}
 	r.obs.SetPartitions(len(parts))
 	for pi, seeds := range parts {
@@ -430,6 +443,17 @@ func (r *parallelJoin) merge() (Pair, bool, error) {
 	}
 	if r.finished {
 		return Pair{}, false, nil
+	}
+	// Cancellation check, per merge call: fail cancels the sibling
+	// workers (close(done) unblocks any worker parked on a full out
+	// channel) and waits for them to release their engines, so a canceled
+	// parallel join leaves no goroutines and no queue resources behind.
+	if r.ctxDone != nil {
+		select {
+		case <-r.ctxDone:
+			return Pair{}, false, r.fail(canceledErr(r.ctx))
+		default:
+		}
 	}
 	if !r.started {
 		r.started = true

@@ -39,6 +39,7 @@ func WriteMetricsTraced(w io.Writer, r *Recorder, c *stats.Counters, qt *qtrace.
 		writeCounter(w, "distjoin_stats_queue_inserts_total", "Priority-queue inserts (stats.Counters).", cs.QueueInserts)
 		writeCounter(w, "distjoin_stats_node_reads_total", "Index node reads (stats.Counters).", cs.NodeReads)
 		writeCounter(w, "distjoin_stats_buffer_hits_total", "Index node buffer hits (stats.Counters).", cs.BufferHits)
+		writeCounter(w, "distjoin_queries_canceled_total", "Queries that surfaced ErrCanceled (context canceled or deadline exceeded).", cs.Cancellations)
 		writeGauge(w, "distjoin_stats_max_queue_size", "High-water priority-queue size (stats.Counters).", float64(cs.MaxQueueSize))
 	}
 	if qt != nil {

@@ -111,6 +111,22 @@ func (p *Pool) Resident() int {
 	return len(p.frames)
 }
 
+// PinnedFrames returns the number of frames with at least one outstanding
+// pin. Every Get/Allocate must be balanced by an Unpin on all paths —
+// including error and cancellation exits — so a quiescent pool reports 0;
+// the cancellation tests assert exactly that.
+func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Get pins the page into a frame, reading it from the store on a miss. The
 // page bytes are fully read before Get returns, and the frame stays pinned
 // (hence unevictable) until Unpin, so concurrent Gets of the same page may

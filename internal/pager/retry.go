@@ -2,6 +2,7 @@ package pager
 
 import (
 	"errors"
+	"fmt"
 	"time"
 )
 
@@ -15,6 +16,12 @@ var ErrTransient = errors.New("pager: transient I/O error")
 func IsTransient(err error) bool {
 	return errors.Is(err, ErrTransient)
 }
+
+// ErrRetryInterrupted wraps the last transient error when a RetryStore
+// gives up retrying because its policy's Done channel closed (typically a
+// canceled query context): the backoff sleep is cut short and the
+// operation fails immediately instead of burning the remaining attempts.
+var ErrRetryInterrupted = errors.New("pager: retry interrupted")
 
 // RetryPolicy bounds how RetryStore re-attempts transient failures.
 // The zero value disables retrying (a single attempt per operation).
@@ -32,6 +39,14 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration
 	// Sleep replaces time.Sleep, letting tests retry without waiting.
 	Sleep func(time.Duration)
+	// Done, when non-nil, makes retrying interruptible: once the channel
+	// is closed, backoff sleeps end immediately and no further attempts
+	// are made — the operation fails with an ErrRetryInterrupted-wrapped
+	// error. The join engine wires its query context's Done channel here
+	// so a canceled query never sleeps through a retry ladder. (A channel
+	// rather than a context keeps this package dependency-free and the
+	// check allocation-free.)
+	Done <-chan struct{}
 	// OnFault is called for every failed attempt, including permanent
 	// errors and the final exhausted attempt, before OnRetry.
 	OnFault func(op string, err error)
@@ -58,9 +73,6 @@ func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
 	if policy.Multiplier < 1 {
 		policy.Multiplier = 2
 	}
-	if policy.Sleep == nil {
-		policy.Sleep = time.Sleep
-	}
 	return &RetryStore{inner: inner, policy: policy}
 }
 
@@ -80,16 +92,55 @@ func (s *RetryStore) do(op string, f func() error) error {
 		if !IsTransient(err) || attempt >= s.policy.MaxAttempts {
 			return err
 		}
+		// Interruption check before committing to a retry: a closed Done
+		// abandons the ladder without invoking OnRetry (no re-attempt is
+		// made) even when the backoff delay is zero.
+		select {
+		case <-s.policy.Done:
+			return fmt.Errorf("%w: %w", ErrRetryInterrupted, err)
+		default:
+		}
 		if s.policy.OnRetry != nil {
 			s.policy.OnRetry(op, attempt, err)
 		}
 		if delay > 0 {
-			s.policy.Sleep(delay)
+			if !s.policy.pause(delay) {
+				return fmt.Errorf("%w: %w", ErrRetryInterrupted, err)
+			}
 			delay = time.Duration(float64(delay) * s.policy.Multiplier)
 			if s.policy.MaxBackoff > 0 && delay > s.policy.MaxBackoff {
 				delay = s.policy.MaxBackoff
 			}
 		}
+	}
+}
+
+// pause waits out one backoff delay, reporting false when Done closed
+// before (or while) waiting. A custom Sleep hook is honoured as-is — tests
+// substitute a no-op — with a non-blocking Done check after it returns;
+// the real sleep selects between a timer and Done so cancellation cuts it
+// short immediately.
+func (p *RetryPolicy) pause(d time.Duration) bool {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		select {
+		case <-p.Done:
+			return false
+		default:
+		}
+		return true
+	}
+	if p.Done == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.Done:
+		return false
 	}
 }
 

@@ -111,6 +111,86 @@ func TestRetryStorePermanentErrorNotRetried(t *testing.T) {
 	}
 }
 
+func TestRetryStoreInterruptedMidBackoff(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr(), transientErr(), transientErr()}
+	done := make(chan struct{})
+	close(done) // already canceled: the first backoff must not be slept out
+	rs := NewRetryStore(fs, RetryPolicy{
+		MaxAttempts: 1000,
+		Backoff:     time.Hour, // would hang the test if actually slept
+		Done:        done,
+	})
+	start := time.Now()
+	err := rs.ReadPage(id, make([]byte, 128))
+	if !errors.Is(err, ErrRetryInterrupted) {
+		t.Fatalf("want ErrRetryInterrupted, got %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("interrupted error must still carry the transient cause: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("interruption took %v — the backoff was slept", d)
+	}
+	if len(fs.readErrs) != 2 {
+		t.Fatalf("expected exactly 1 attempt before interruption, %d scripted errors left", len(fs.readErrs))
+	}
+}
+
+func TestRetryStoreInterruptedDuringSleep(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr(), transientErr(), transientErr()}
+	done := make(chan struct{})
+	rs := NewRetryStore(fs, RetryPolicy{
+		MaxAttempts: 1000,
+		Backoff:     time.Hour,
+		Done:        done,
+	})
+	time.AfterFunc(20*time.Millisecond, func() { close(done) })
+	start := time.Now()
+	err := rs.ReadPage(id, make([]byte, 128))
+	if !errors.Is(err, ErrRetryInterrupted) {
+		t.Fatalf("want ErrRetryInterrupted, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("interruption took %v — the timer was not cut short", d)
+	}
+}
+
+func TestRetryStoreNilDoneSleepsNormally(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr()}
+	rs := NewRetryStore(fs, RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond})
+	if err := rs.ReadPage(id, make([]byte, 128)); err != nil {
+		t.Fatalf("ReadPage with nil Done: %v", err)
+	}
+}
+
+func TestRetryStoreCustomSleepHonoursDone(t *testing.T) {
+	fs, id := newFlaky(t)
+	fs.readErrs = []error{transientErr(), transientErr(), transientErr()}
+	done := make(chan struct{})
+	var sleeps int
+	rs := NewRetryStore(fs, RetryPolicy{
+		MaxAttempts: 1000,
+		Backoff:     time.Millisecond,
+		Sleep: func(time.Duration) {
+			sleeps++
+			if sleeps == 2 {
+				close(done) // cancel between the second sleep and its recheck
+			}
+		},
+		Done: done,
+	})
+	err := rs.ReadPage(id, make([]byte, 128))
+	if !errors.Is(err, ErrRetryInterrupted) {
+		t.Fatalf("want ErrRetryInterrupted, got %v", err)
+	}
+	if sleeps != 2 {
+		t.Fatalf("retry ladder ran %d sleeps after cancellation, want 2", sleeps)
+	}
+}
+
 func TestRetryStoreBackoffGrowsAndCaps(t *testing.T) {
 	fs, id := newFlaky(t)
 	fs.readErrs = []error{transientErr(), transientErr(), transientErr(), transientErr()}

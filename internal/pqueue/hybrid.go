@@ -467,5 +467,11 @@ func (q *HybridQueue[T]) Peek() (T, bool, error) {
 	return q.heap.Min().Value, true, nil
 }
 
+// PinnedFrames reports how many of the disk tier's buffer-pool frames are
+// still pinned. Outside an in-flight operation it must be 0 — every fetch
+// and spill unpins on success, failure and cancellation alike — which the
+// cancellation sweep asserts after abandoning runs mid-join.
+func (q *HybridQueue[T]) PinnedFrames() int { return q.pool.PinnedFrames() }
+
 // Close implements Queue.
 func (q *HybridQueue[T]) Close() error { return q.pool.Store().Close() }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"sync"
@@ -33,6 +34,16 @@ const (
 // errCursorBusy marks a concurrent next on a cursor already serving one.
 var errCursorBusy = errors.New("server: cursor is busy serving another request")
 
+// Cancellation causes: each hard cancel of a cursor's engine context names
+// why, and the cause rides the surfaced ErrCanceled (context.Cause) into
+// the cursor's terminal error, its 410 body and its query trace.
+var (
+	errCursorDeleted  = errors.New("cursor deleted by client")
+	errCursorExpired  = errors.New("cursor expired (TTL)")
+	errCursorDrained  = errors.New("server shutting down")
+	errCursorWallOver = errors.New("cursor wall budget exceeded")
+)
+
 // cursor is one resumable incremental-join cursor: a live engine iterator
 // plus the bookkeeping that lets it survive client pauses.
 //
@@ -53,7 +64,19 @@ type cursor struct {
 
 	next  func() (distjoin.Pair, bool, error)
 	close func() error
-	stats *distjoin.Stats // per-cursor counters, merged into the server total on close
+	abort func(error) error // close latching a terminal error the engine never saw
+	stats *distjoin.Stats   // per-cursor counters, merged into the server total on close
+
+	// ctx is the engine's Options.Context: canceling it (cancel, with a
+	// cause) interrupts a live pull mid-engine-work — the iterator
+	// surfaces a sticky ErrCanceled and the cursor goes terminal. The
+	// hard-cancel triggers are DELETE, TTL doom, the per-cursor wall
+	// budget, and server drain; a mere client disconnect only stops the
+	// pull loop (soft), keeping the cursor resumable. cancel is safe to
+	// call multiple times and must be called on every terminal path so
+	// the context tree (and any wall-budget timer) is released.
+	ctx    context.Context
+	cancel func(cause error)
 
 	op sync.Mutex // held across one pull
 
@@ -72,7 +95,28 @@ func (c *cursor) closeEngine() error {
 		return nil
 	}
 	c.closed = true
-	return c.close()
+	var err error
+	if c.abort != nil {
+		// Latch the cursor's terminal error (nil on clean paths; the
+		// engine's own latched error wins) so the query trace is
+		// annotated even for failures the engine never saw, such as a
+		// recovered panic.
+		err = c.abort(c.err)
+	} else {
+		err = c.close()
+	}
+	// The engine is gone; release the context tree (no-op if the engine
+	// was canceled through it, mandatory if it completed normally — the
+	// wall-budget timer must not outlive the cursor).
+	c.hardCancel(nil)
+	return err
+}
+
+// hardCancel cancels the cursor's engine context with the given cause.
+func (c *cursor) hardCancel(cause error) {
+	if c.cancel != nil {
+		c.cancel(cause)
+	}
 }
 
 // tombstone records why an evicted cursor left the table, so a late client

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"distjoin"
 )
 
 // TestConcurrentClients hammers one server with many concurrent sessions —
@@ -125,10 +128,12 @@ func TestTTLExpiryDuringPull(t *testing.T) {
 		t.Fatalf("after sweep: doomed=%v closed=%v, want doomed, not closed", doomed, closed)
 	}
 
-	// The in-flight pull still works — the engine is alive under us.
-	pairs, done, err := f.srv.pull(c, 5)
-	if err != nil || done || len(pairs) != 5 {
-		t.Fatalf("pull on doomed cursor: %d pairs done=%v err=%v", len(pairs), done, err)
+	// Dooming also hard-canceled the engine, so the in-flight pull is
+	// interrupted: it surfaces a sticky ErrCanceled naming the TTL cause
+	// rather than streaming on against a dead deadline.
+	pairs, done, _, err := f.srv.pull(c, 5, nil)
+	if !errors.Is(err, distjoin.ErrCanceled) || done {
+		t.Fatalf("pull on doomed cursor: %d pairs done=%v err=%v, want ErrCanceled", len(pairs), done, err)
 	}
 
 	// Releasing the pull completes the eviction (endPull also frees the
@@ -144,13 +149,13 @@ func TestTTLExpiryDuringPull(t *testing.T) {
 		t.Fatal("engine not closed after doomed eviction")
 	}
 
-	// The id now answers 410, and the trace landed with the pairs the pull
-	// managed to report.
+	// The id now answers 410, and the trace landed error-annotated with the
+	// cancellation.
 	code, _ := f.do(t, http.MethodGet, "/v1/cursor/"+cr.Cursor+"/next?k=1", nil)
 	if code != http.StatusGone {
 		t.Fatalf("evicted cursor: %d, want 410", code)
 	}
-	if tr := f.tracer.Trace(cr.Cursor); tr == nil || tr.Resources.Pairs != 5 {
+	if tr := f.tracer.Trace(cr.Cursor); tr == nil || !strings.Contains(tr.Error, "canceled") {
 		t.Fatalf("trace after doomed eviction = %+v", tr)
 	}
 }

@@ -25,6 +25,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -81,6 +82,18 @@ type Config struct {
 	TTL time.Duration
 	// SweepInterval is the janitor period (default TTL/4, at least 10ms).
 	SweepInterval time.Duration
+	// MaxCursorWall is the per-cursor total wall budget: a cursor older
+	// than this is hard-canceled — its engine context expires, a live
+	// pull surfaces ErrCanceled mid-work, and the cursor goes terminal
+	// (410). It bounds the lifetime of any single query regardless of how
+	// diligently a client keeps pulling. 0 disables the budget.
+	MaxCursorWall time.Duration
+	// PullTimeout is the default soft deadline of one next/stream pull
+	// (overridable per request with ?timeout_ms=N). When it expires the
+	// pull returns the pairs drawn so far — the cursor stays open and
+	// resumable; only the one HTTP response is truncated. 0 disables the
+	// default (a request-level timeout_ms still applies).
+	PullTimeout time.Duration
 	// Tracer receives per-cursor query traces; cursor ids double as query
 	// ids. May be nil (no tracing).
 	Tracer *distjoin.QueryTracer
@@ -137,7 +150,9 @@ type Server struct {
 	inflight chan struct{}
 	seq      atomic.Uint64
 	closed   atomic.Bool
+	draining atomic.Bool
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the panic-recovery middleware
 
 	budgetMu   sync.Mutex
 	budgetUsed int64
@@ -167,13 +182,44 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	// Liveness vs readiness: /healthz answers ok for as long as the
+	// process serves HTTP at all, while /readyz flips to 503 the moment a
+	// drain begins, so load balancers stop routing new queries to an
+	// instance that is shutting down (its existing cursors still answer).
+	s.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() || s.closed.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	s.handler = recoverMiddleware(s.mux)
 	go s.janitor()
 	return s
 }
 
+// recoverMiddleware converts a handler panic into a JSON 500 instead of
+// the net/http default (kill the connection, dump the goroutine stack).
+// The pull path additionally latches the panicking cursor as failed before
+// re-panicking into this middleware, so its query trace lands
+// error-annotated; see handleNext.
+func recoverMiddleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				writeErr(w, &httpError{
+					Status: http.StatusInternalServerError,
+					Msg:    fmt.Sprintf("internal error: %v", p),
+				})
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
 // Handler returns the service's HTTP handler, for mounting alongside
 // /metrics and /debug/queries in a caller-owned mux.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry returns the server's index registry.
 func (s *Server) Registry() *Registry { return s.cfg.Registry }
@@ -248,7 +294,23 @@ func (s *Server) sweep(now time.Time) {
 		} else {
 			c.doomed = true
 			c.st.Unlock()
+			// The cursor is mid-pull: interrupt the live engine so the pull
+			// surfaces ErrCanceled promptly instead of streaming until k; the
+			// release path (endPull) then completes the eviction.
+			c.hardCancel(errCursorExpired)
 		}
+	}
+}
+
+// beginDrain flips readiness to 503 and hard-cancels every live cursor, so
+// in-flight pulls surface ErrCanceled promptly and new queries are refused
+// while existing clients can still observe their cursors' terminal state.
+func (s *Server) beginDrain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	for _, c := range s.table.snapshot() {
+		c.hardCancel(errCursorDrained)
 	}
 }
 
@@ -397,6 +459,11 @@ type NextResponse struct {
 	Reported int64      `json:"reported"`
 	// ExpiresAt is the renewed idle deadline after this pull.
 	ExpiresAt string `json:"expires_at"`
+	// Truncated names why the pull returned fewer than k pairs without
+	// being done ("pull timeout" or "client disconnected"). The cursor is
+	// still open: pull again to resume from the exact pair after the last
+	// one delivered.
+	Truncated string `json:"truncated,omitempty"`
 }
 
 // InfoResponse answers GET /v1/cursor/{id}.
@@ -420,7 +487,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, &httpError{Status: http.StatusMethodNotAllowed, Msg: "POST only"})
 		return
 	}
-	if s.closed.Load() {
+	if s.closed.Load() || s.draining.Load() {
 		writeErr(w, &httpError{Status: http.StatusServiceUnavailable, Msg: "server is shutting down"})
 		return
 	}
@@ -486,8 +553,23 @@ func (s *Server) createCursor(req *QueryRequest) (*cursor, *httpError) {
 		s.releaseBudget(budget)
 		return nil, e
 	}
-	next, closeFn, err := openIterator(req, si1, si2, opts)
+	// Per-cursor engine context: every hard cancellation (DELETE, TTL doom,
+	// wall budget, drain) flows through it into the engine, which surfaces
+	// a sticky ErrCanceled carrying the cause — even mid-pull.
+	base, cancelCause := context.WithCancelCause(context.Background())
+	ctx := base
+	stopWall := context.CancelFunc(func() {})
+	if s.cfg.MaxCursorWall > 0 {
+		ctx, stopWall = context.WithDeadlineCause(base, s.now().Add(s.cfg.MaxCursorWall), errCursorWallOver)
+	}
+	cancel := func(cause error) {
+		cancelCause(cause)
+		stopWall()
+	}
+	opts.Context = ctx
+	next, closeFn, abortFn, err := openIterator(req, si1, si2, opts)
 	if err != nil {
+		cancel(nil)
 		s.releaseBudget(budget)
 		// Engine construction errors are almost always invalid client
 		// options, except a dead queue-store backend, which is ours.
@@ -507,7 +589,10 @@ func (s *Server) createCursor(req *QueryRequest) (*cursor, *httpError) {
 		created: now,
 		next:    next,
 		close:   closeFn,
+		abort:   abortFn,
 		stats:   opts.Counters,
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	c.deadline = now.Add(s.cfg.TTL)
 	if e := s.table.insert(c); e != nil {
@@ -618,28 +703,28 @@ func parseFilter(name string) (distjoin.SemiFilter, error) {
 
 // openIterator starts the engine for the requested operation over the two
 // registry indexes.
-func openIterator(req *QueryRequest, si1, si2 distjoin.SpatialIndex, opts distjoin.Options) (func() (distjoin.Pair, bool, error), func() error, error) {
+func openIterator(req *QueryRequest, si1, si2 distjoin.SpatialIndex, opts distjoin.Options) (func() (distjoin.Pair, bool, error), func() error, func(error) error, error) {
 	switch normKind(req.Kind) {
 	case "join":
 		j, err := distjoin.DistanceJoinIndexes(si1, si2, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return j.Next, j.Close, nil
+		return j.Next, j.Close, j.Abort, nil
 	case "semijoin":
 		f, err := parseFilter(req.Filter)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		sj, err := distjoin.DistanceSemiJoinIndexes(si1, si2, f, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return sj.Next, sj.Close, nil
+		return sj.Next, sj.Close, sj.Abort, nil
 	case "knn":
 		f, err := parseFilter(req.Filter)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		k := req.K
 		if k == 0 {
@@ -647,21 +732,21 @@ func openIterator(req *QueryRequest, si1, si2 distjoin.SpatialIndex, opts distjo
 		}
 		sj, err := distjoin.KNearestJoinIndexes(si1, si2, k, f, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return sj.Next, sj.Close, nil
+		return sj.Next, sj.Close, sj.Abort, nil
 	case "clustering":
 		f, err := parseFilter(req.Filter)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		sj, err := distjoin.ClusteringJoinIndexes(si1, si2, f, opts)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return sj.Next, sj.Close, nil
+		return sj.Next, sj.Close, sj.Abort, nil
 	}
-	return nil, nil, fmt.Errorf("unknown kind %q (want join, semijoin, knn or clustering)", req.Kind)
+	return nil, nil, nil, fmt.Errorf("unknown kind %q (want join, semijoin, knn or clustering)", req.Kind)
 }
 
 // handleCursor routes /v1/cursor/{id}[/next|/stream].
@@ -736,18 +821,24 @@ func (s *Server) endPull(c *cursor) {
 
 // pull draws up to k pairs from the cursor's iterator. Terminal outcomes
 // (exhaustion, engine error) close the engine in place — landing the query
-// trace — and latch the cursor state. Caller holds c.op.
-func (s *Server) pull(c *cursor, k int) ([]PairJSON, bool, error) {
+// trace — and latch the cursor state. rctx is the pull's soft deadline
+// (request context + timeout): when it expires the pull stops between Next
+// calls and returns the pairs drawn so far with a truncation reason — the
+// cursor itself stays open and resumable. Caller holds c.op.
+func (s *Server) pull(c *cursor, k int, rctx context.Context) ([]PairJSON, bool, string, error) {
 	c.st.Lock()
 	exhausted := c.state == cursorDone
 	c.st.Unlock()
 	if exhausted {
 		// The engine was already closed on exhaustion; the cursor idles in
 		// its done state until the TTL or a DELETE reclaims it.
-		return []PairJSON{}, true, nil
+		return []PairJSON{}, true, "", nil
 	}
 	pairs := make([]PairJSON, 0, k)
 	for len(pairs) < k {
+		if rctx != nil && rctx.Err() != nil {
+			return pairs, false, softStopReason(rctx), nil
+		}
 		p, ok, err := c.next()
 		if err != nil {
 			c.st.Lock()
@@ -755,21 +846,30 @@ func (s *Server) pull(c *cursor, k int) ([]PairJSON, bool, error) {
 			c.err = err
 			c.closeEngine()
 			c.st.Unlock()
-			return pairs, false, err
+			return pairs, false, "", err
 		}
 		if !ok {
 			c.st.Lock()
 			c.state = cursorDone
 			c.closeEngine()
 			c.st.Unlock()
-			return pairs, true, nil
+			return pairs, true, "", nil
 		}
 		pairs = append(pairs, PairJSON{Obj1: uint64(p.Obj1), Obj2: uint64(p.Obj2), Dist: p.Dist})
 	}
 	c.st.Lock()
 	done := c.state == cursorDone
 	c.st.Unlock()
-	return pairs, done, nil
+	return pairs, done, "", nil
+}
+
+// softStopReason names why a pull stopped early. Soft stops never touch the
+// cursor's engine context — only the one HTTP response is cut short.
+func softStopReason(rctx context.Context) string {
+	if errors.Is(rctx.Err(), context.DeadlineExceeded) {
+		return "pull timeout"
+	}
+	return "client disconnected"
 }
 
 // handleNext serves one pull, either as a single JSON document or as an
@@ -788,21 +888,62 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, s
 	if k > s.cfg.MaxBatch {
 		k = s.cfg.MaxBatch
 	}
+	// Soft per-pull deadline: the request context (canceled on client
+	// disconnect) plus an optional timeout — per-request timeout_ms, else
+	// Config.PullTimeout. Expiry truncates this one response; the cursor
+	// stays open.
+	timeout := s.cfg.PullTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, badRequest("timeout_ms must be a positive integer"))
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+	}
+	rctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, timeout)
+		defer cancel()
+	}
 	c, e := s.beginPull(id)
 	if e != nil {
 		writeErr(w, e)
 		return
 	}
 	defer s.endPull(c)
+	// Latch a handler panic as the cursor's terminal error before endPull
+	// releases it and the re-panic reaches recoverMiddleware's 500: the
+	// engine closes here, so the query trace lands error-annotated in the
+	// flight recorder instead of the cursor idling as if still healthy.
+	defer func() {
+		if p := recover(); p != nil {
+			c.st.Lock()
+			if c.state == cursorOpen {
+				c.state = cursorFailed
+				c.err = fmt.Errorf("internal panic: %v", p)
+				c.closeEngine()
+			}
+			c.st.Unlock()
+			panic(p)
+		}
+	}()
 
 	if stream {
-		s.streamPairs(w, c, k)
+		s.streamPairs(w, rctx, c, k)
 		return
 	}
-	pairs, done, err := s.pull(c, k)
+	pairs, done, truncated, err := s.pull(c, k, rctx)
 	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, distjoin.ErrCanceled) {
+			// A hard cancellation (DELETE, TTL, wall budget, drain) made the
+			// cursor terminal; Gone matches what every later pull will say.
+			status = http.StatusGone
+		}
 		writeErr(w, &httpError{
-			Status: http.StatusInternalServerError,
+			Status: status,
 			Msg:    "cursor " + id + " failed: " + err.Error(),
 		})
 		return
@@ -819,6 +960,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, s
 		Done:      done,
 		Reported:  reported,
 		ExpiresAt: expires.UTC().Format(time.RFC3339Nano),
+		Truncated: truncated,
 	})
 }
 
@@ -827,21 +969,31 @@ type streamTrailer struct {
 	Done     bool   `json:"done"`
 	Reported int64  `json:"reported"`
 	Error    string `json:"error,omitempty"`
+	// Truncated mirrors NextResponse.Truncated: the stream stopped short of
+	// k for a soft reason and the cursor remains resumable.
+	Truncated string `json:"truncated,omitempty"`
 }
 
 // streamPairs writes up to k pairs as NDJSON. Each line is one PairJSON;
 // the last line is a streamTrailer. An engine error mid-stream appears in
-// the trailer (headers are long gone), and the cursor is terminal.
-func (s *Server) streamPairs(w http.ResponseWriter, c *cursor, k int) {
+// the trailer (headers are long gone), and the cursor is terminal. A soft
+// stop (rctx expired: client gone or pull timeout) ends the stream between
+// Next calls with the reason in the trailer, cursor still open.
+func (s *Server) streamPairs(w http.ResponseWriter, rctx context.Context, c *cursor, k int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	var n int64
 	var pullErr error
+	var truncated string
 	c.st.Lock()
 	done := c.state == cursorDone
 	c.st.Unlock()
 	for i := 0; !done && i < k; i++ {
+		if rctx != nil && rctx.Err() != nil {
+			truncated = softStopReason(rctx)
+			break
+		}
 		p, ok, err := c.next()
 		if err != nil {
 			pullErr = err
@@ -870,7 +1022,7 @@ func (s *Server) streamPairs(w http.ResponseWriter, c *cursor, k int) {
 	c.reported += n
 	reported := c.reported
 	c.st.Unlock()
-	tr := streamTrailer{Done: done, Reported: reported}
+	tr := streamTrailer{Done: done, Reported: reported, Truncated: truncated}
 	if pullErr != nil {
 		tr.Error = pullErr.Error()
 	}
@@ -922,6 +1074,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, id string) {
 		writeErr(w, e)
 		return
 	}
+	// Hard-cancel before taking op: an in-flight pull surfaces ErrCanceled
+	// promptly, so DELETE never waits out a long stream to finish.
+	c.hardCancel(errCursorDeleted)
 	c.op.Lock()
 	c.st.Lock()
 	err := c.closeEngine()
@@ -985,6 +1140,40 @@ func (r *Running) Addr() string { return r.ln.Addr().String() }
 
 // Server returns the underlying query service.
 func (r *Running) Server() *Server { return r.srv }
+
+// Shutdown drains the service within the given window: readiness flips to
+// 503, every live cursor is hard-canceled (an in-flight pull surfaces
+// ErrCanceled), and the listener stays up through the window so clients
+// observe their cursors' terminal 410s instead of connection resets. Once
+// in-flight pulls drain (or the window lapses) the HTTP server stops and
+// every remaining cursor is closed. Idempotent with Close; distjoind calls
+// this from its SIGTERM handler.
+func (r *Running) Shutdown(drain time.Duration) error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	deadline := time.Now().Add(drain)
+	r.srv.beginDrain()
+	// Grace poll: in-flight pulls are already canceled and unwind quickly;
+	// give their responses (and any follow-up 410 probes) the window.
+	for time.Now().Before(deadline) && len(r.srv.inflight) > 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	err := r.hs.Shutdown(ctx)
+	cancel()
+	// Force-close whatever outlived the window (idle keep-alives are closed
+	// by Shutdown itself; this catches wedged streams).
+	r.hs.Close()
+	<-r.served
+	if cerr := r.srv.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, context.DeadlineExceeded) {
+		err = nil
+	}
+	return err
+}
 
 // Close stops the listener, waits for the serve goroutine, and closes the
 // query service (every open cursor). Idempotent.

@@ -70,6 +70,10 @@ type Counters struct {
 	// IORetries counts re-attempts after transient I/O failures
 	// (Options.RetryIO). IOFaults - IORetries ≤ surfaced errors.
 	IORetries int64
+	// Cancellations counts queries that surfaced ErrCanceled: the run's
+	// Options.Context was canceled (or its deadline expired) and the
+	// iterator latched the cancellation as its terminal error.
+	Cancellations int64
 }
 
 // NodeIO returns reads+writes, the "Node I/O" measure of Table 1.
@@ -185,6 +189,13 @@ func (c *Counters) AddIORetry(n int64) {
 	}
 }
 
+// AddCancellation records n queries canceled via their context.
+func (c *Counters) AddCancellation(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.Cancellations, n)
+	}
+}
+
 // Reset zeroes all counters. Not atomic as a whole: do not race Reset with
 // concurrent recorders.
 func (c *Counters) Reset() {
@@ -217,6 +228,7 @@ func (c *Counters) Snapshot() Counters {
 		BatchPruned:    atomic.LoadInt64(&c.BatchPruned),
 		IOFaults:       atomic.LoadInt64(&c.IOFaults),
 		IORetries:      atomic.LoadInt64(&c.IORetries),
+		Cancellations:  atomic.LoadInt64(&c.Cancellations),
 	}
 }
 
@@ -247,6 +259,7 @@ func (c *Counters) Merge(other *Counters) {
 	atomic.AddInt64(&c.BatchPruned, o.BatchPruned)
 	atomic.AddInt64(&c.IOFaults, o.IOFaults)
 	atomic.AddInt64(&c.IORetries, o.IORetries)
+	atomic.AddInt64(&c.Cancellations, o.Cancellations)
 }
 
 // String formats the Table 1 measures compactly.

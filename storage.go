@@ -41,3 +41,17 @@ var ErrIteratorClosed = distjoin.ErrIteratorClosed
 // ErrQueueStore wraps every failure of the Options.QueueStore factory, so
 // callers can tell a broken storage backend from invalid join options.
 var ErrQueueStore = distjoin.ErrQueueStore
+
+// ErrCanceled is the sticky terminal error of a run whose Options.Context
+// was canceled or reached its deadline: the pairs delivered before the
+// cancellation are a correct ordered prefix of the result, and every
+// later Next returns an error wrapping this sentinel (and the context's
+// cause, so errors.Is also matches context.Canceled and
+// context.DeadlineExceeded).
+var ErrCanceled = distjoin.ErrCanceled
+
+// ErrRetryInterrupted wraps the last transient storage error when a
+// canceled context cut a RetryIO backoff ladder short. Errors surfaced by
+// the iterator fold it under ErrCanceled; the bare sentinel is visible to
+// RetryPolicy.OnFault observers.
+var ErrRetryInterrupted = pager.ErrRetryInterrupted
