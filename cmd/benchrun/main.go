@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"distjoin/internal/bench"
+	"distjoin/internal/buildinfo"
 	"distjoin/internal/profile"
 )
 
@@ -58,7 +59,12 @@ func main() {
 	flag.Float64Var(&o.threshold, "threshold", 0.05, "allowed relative growth of gated counters before a regression is declared")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the recording run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	version := flag.Bool("version", false, "print version and build metadata, then exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("benchrun"))
+		return
+	}
 	if o.compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchrun: -compare needs exactly two files: old.json new.json")

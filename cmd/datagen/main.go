@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"distjoin/internal/buildinfo"
 	"distjoin/internal/datagen"
 	"distjoin/internal/geom"
 )
@@ -22,7 +23,12 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	clusters := flag.Int("clusters", 10, "cluster count (clustered kind)")
 	spread := flag.Float64("spread", 2_000, "cluster spread (clustered kind)")
+	version := flag.Bool("version", false, "print version and build metadata, then exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("datagen"))
+		return
+	}
 
 	if err := run(*kind, *n, *seed, *out, *clusters, *spread); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)

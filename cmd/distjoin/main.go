@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"distjoin"
+	"distjoin/internal/buildinfo"
 	"distjoin/internal/datagen"
 )
 
@@ -126,7 +127,12 @@ func main() {
 	flag.Int64Var(&o.slowNodeIO, "slow-nodeio", 0, "slow-log queries whose node I/O count reaches this threshold")
 	flag.Int64Var(&o.slowDist, "slow-distcalcs", 0, "slow-log queries whose distance-computation count reaches this threshold")
 	flag.StringVar(&o.queryID, "query-id", "", "query ID for this run's trace (default: tracer-assigned)")
+	version := flag.Bool("version", false, "print version and build metadata, then exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("distjoin"))
+		return
+	}
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "distjoin:", err)

@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -34,7 +35,11 @@ import (
 	"time"
 
 	"distjoin"
+	"distjoin/internal/buildinfo"
 	"distjoin/internal/datagen"
+	"distjoin/internal/obs"
+	"distjoin/internal/otlpexport"
+	"distjoin/internal/qtrace"
 	"distjoin/internal/server"
 )
 
@@ -65,16 +70,39 @@ func run(args []string, errw *os.File) int {
 		drainTimeout         = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown window on SIGINT/SIGTERM before open connections are cut")
 		maxBatch             = fs.Int("max-batch", 0, "largest k honoured by one next/stream pull (0 = default)")
 		flightRec            = fs.Int("flightrec", 256, "flight-recorder size: retain the last N query traces at /debug/queries")
-		slowLogPath          = fs.String("slowlog", "", "write slow-query traces to this file as JSONL")
+		slowLogPath          = fs.String("slowlog", "", "write slow-query traces to this file as JSONL (size-capped, rotated)")
+		slowLogMaxBytes      = fs.Int64("slowlog-max-bytes", 0, "rotate the slow-query log when a file reaches this size (0 = 64 MiB)")
+		slowLogMaxFiles      = fs.Int("slowlog-max-files", 0, "total slow-query log files kept, active plus archives (0 = 3)")
 		slowWall             = fs.Duration("slow-wall", 0, "slow-log queries whose wall time reaches this threshold (0 with no other threshold = log every query)")
 		slowNodeIO           = fs.Int64("slow-nodeio", 0, "slow-log queries whose node I/O count reaches this threshold")
 		slowDist             = fs.Int64("slow-distcalcs", 0, "slow-log queries whose distance-computation count reaches this threshold")
+		otlpEndpoint         = fs.String("otlp", "", "export spans to this OTLP/HTTP-JSON endpoint (e.g. http://localhost:4318/v1/traces)")
+		otlpService          = fs.String("otlp-service", "distjoind", "service.name resource attribute on exported spans")
+		otlpFlush            = fs.Duration("otlp-flush", 5*time.Second, "final span-export flush window during shutdown")
+		logFormat            = fs.String("log-format", "text", "structured log format on stderr: text or json")
 	)
 	fs.Var(&indexFiles, "index", "register a persisted R*-tree: name=path (repeatable)")
 	fs.Var(&csvFiles, "csv", "register a CSV point set as an in-memory R*-tree: name=path (repeatable)")
+	version := fs.Bool("version", false, "print version and build metadata, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *version {
+		fmt.Fprintln(errw, buildinfo.String("distjoind"))
+		return 0
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(errw, nil)
+	case "json":
+		handler = slog.NewJSONHandler(errw, nil)
+	default:
+		fmt.Fprintf(errw, "distjoind: -log-format wants text or json, got %q\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
 
 	reg := server.NewRegistry()
 	defer reg.Close()
@@ -91,7 +119,7 @@ func run(args []string, errw *os.File) int {
 			return 2
 		}
 		if err := reg.OpenFile(name, path); err != nil {
-			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			logger.Error("opening index", "name", name, "path", path, "err", err)
 			return 1
 		}
 	}
@@ -103,19 +131,19 @@ func run(args []string, errw *os.File) int {
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			logger.Error("opening csv", "name", name, "path", path, "err", err)
 			return 1
 		}
 		pts, err := datagen.ReadPoints(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(errw, "distjoind: reading %s: %v\n", path, err)
+			logger.Error("reading csv", "path", path, "err", err)
 			return 1
 		}
 		idx := distjoin.NewIndexFromPoints(pts)
 		owned = append(owned, idx)
 		if err := reg.RegisterIndex(name, idx); err != nil {
-			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			logger.Error("registering csv index", "name", name, "err", err)
 			return 1
 		}
 	}
@@ -124,11 +152,11 @@ func run(args []string, errw *os.File) int {
 		roads := distjoin.NewIndexFromPoints(datagen.Roads(8, *demo))
 		owned = append(owned, water, roads)
 		if err := reg.RegisterIndex("water", water); err != nil {
-			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			logger.Error("registering demo index", "name", "water", "err", err)
 			return 1
 		}
 		if err := reg.RegisterIndex("roads", roads); err != nil {
-			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			logger.Error("registering demo index", "name", "roads", "err", err)
 			return 1
 		}
 	}
@@ -144,18 +172,33 @@ func run(args []string, errw *os.File) int {
 		SlowDistCalcs: *slowDist,
 	}
 	if *slowLogPath != "" {
-		slow, err := os.Create(*slowLogPath)
+		// Size-capped rotation: a long-running daemon's slow-query log stays
+		// bounded at about max-files × max-bytes on disk.
+		slow, err := qtrace.OpenRotatingFile(*slowLogPath, *slowLogMaxBytes, *slowLogMaxFiles)
 		if err != nil {
-			fmt.Fprintf(errw, "distjoind: %v\n", err)
+			logger.Error("opening slow-query log", "path", *slowLogPath, "err", err)
 			return 1
 		}
 		defer slow.Close()
 		traceCfg.SlowLog = slow
 	}
+	var exporter *otlpexport.Exporter
+	if *otlpEndpoint != "" {
+		exporter = otlpexport.New(otlpexport.Config{
+			Endpoint: *otlpEndpoint,
+			Service:  *otlpService,
+			Logger:   logger,
+		})
+		defer exporter.Close()
+		// Every finished cursor's engine span tree ships to the collector;
+		// the server adds one span per pull on top.
+		traceCfg.OnComplete = exporter.OnComplete
+	}
 	tracer := distjoin.NewQueryTracer(traceCfg)
 	defer tracer.Close()
 	rec := distjoin.NewRecorder(distjoin.ObsConfig{})
 	counters := &distjoin.Stats{}
+	red := obs.NewRED(obs.REDConfig{})
 
 	running, err := server.Start(*addr, server.Config{
 		Registry:            reg,
@@ -170,23 +213,31 @@ func run(args []string, errw *os.File) int {
 		Tracer:              tracer,
 		Obs:                 rec,
 		Stats:               counters,
+		Logger:              logger,
+		RED:                 red,
+		Exporter:            exporter,
 	}, func(mux *http.ServeMux) {
-		mux.Handle("/metrics", distjoin.MetricsHandler(rec, counters))
+		// /metrics = engine counters + per-query gauges + RED/SLO families +
+		// OTLP exporter health, one exposition.
+		mux.Handle("/metrics", obs.HandlerTraced(rec, counters, tracer,
+			red.WritePrometheus, exporter.WritePrometheus))
 		mux.Handle("/debug/queries", distjoin.QueriesHandler("/debug/queries", tracer))
 		mux.Handle("/debug/queries/", distjoin.QueriesHandler("/debug/queries", tracer))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	})
 	if err != nil {
-		fmt.Fprintf(errw, "distjoind: %v\n", err)
+		logger.Error("starting server", "addr", *addr, "err", err)
 		return 1
 	}
-	fmt.Fprintf(errw, "distjoind: serving %d indexes on %s\n", len(reg.List()), running.Addr())
+	logger.Info(fmt.Sprintf("serving %d indexes on %s", len(reg.List()), running.Addr()),
+		"indexes", len(reg.List()), "addr", running.Addr(), "otlp", *otlpEndpoint)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Fprintf(errw, "distjoind: %v — draining (up to %v)\n", s, *drainTimeout)
+	logger.Info(fmt.Sprintf("%v — draining (up to %v)", s, *drainTimeout),
+		"signal", s.String(), "window", *drainTimeout)
 	start := time.Now()
 	// Graceful drain: /readyz flips to 503, every cursor is hard-canceled
 	// (live pulls surface the cancellation in their stream trailers), and
@@ -197,14 +248,25 @@ func run(args []string, errw *os.File) int {
 	select {
 	case err := <-done:
 		if err != nil {
-			fmt.Fprintf(errw, "distjoind: shutdown: %v\n", err)
+			logger.Error("shutdown", "err", err)
 			return 1
 		}
 	case s := <-sig:
-		fmt.Fprintf(errw, "distjoind: %v again — forcing exit\n", s)
+		logger.Error(fmt.Sprintf("%v again — forcing exit", s), "signal", s.String())
 		running.Close()
 		return 1
 	}
-	fmt.Fprintf(errw, "distjoind: drained in %v\n", time.Since(start).Round(time.Millisecond))
+	if exporter != nil {
+		// The drain closed every cursor, landing their query traces in the
+		// exporter's queue; push the tail out before exiting.
+		if err := exporter.Flush(*otlpFlush); err != nil {
+			logger.Warn("final span flush", "err", err)
+		}
+		st := exporter.StatsSnapshot()
+		logger.Info("span export drained",
+			"exported", st.ExportedSpans, "dropped_queue", st.DroppedQueue, "dropped_export", st.DroppedExport)
+	}
+	logger.Info(fmt.Sprintf("drained in %v", time.Since(start).Round(time.Millisecond)),
+		"elapsed", time.Since(start).Round(time.Millisecond))
 	return 0
 }

@@ -74,7 +74,7 @@ func TestServeSessionAndShutdown(t *testing.T) {
 	}()
 
 	// The daemon prints its bound address to stderr once serving.
-	addrRe := regexp.MustCompile(`serving (\d+) indexes on (\S+)`)
+	addrRe := regexp.MustCompile(`serving (\d+) indexes on ([^"\s]+)`)
 	var addr string
 	deadline := time.Now().Add(10 * time.Second)
 	for addr == "" {

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"distjoin/internal/buildinfo"
 	"distjoin/internal/experiments"
 	"distjoin/internal/obs"
 )
@@ -36,7 +37,12 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
 	tracePath := flag.String("trace", "", "with -exp trace: also save the raw JSONL event trace to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address during the runs")
+	version := flag.Bool("version", false, "print version and build metadata, then exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("experiments"))
+		return
+	}
 
 	if err := run(*scaleName, *expName, *latency, *asJSON, *tracePath, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

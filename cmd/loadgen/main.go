@@ -34,7 +34,20 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"distjoin/internal/buildinfo"
+	"distjoin/internal/qtrace"
 )
+
+// slowPull identifies one of the slowest pulls of a run: its latency and
+// the distributed-trace id to look it up with — at the OTLP collector, in
+// distjoind's request log, or via /debug/queries with the cursor id.
+type slowPull struct {
+	TraceID string        `json:"trace_id"`
+	Cursor  string        `json:"cursor"`
+	Pull    int           `json:"pull"`
+	Latency time.Duration `json:"latency_ns"`
+}
 
 // report is the machine-readable result document.
 type report struct {
@@ -60,6 +73,11 @@ type report struct {
 	PullP99          time.Duration `json:"pull_p99_ns"`
 	SLOP95           time.Duration `json:"slo_p95_ns"`
 	SLOMet           bool          `json:"slo_met"`
+	// TraceMismatches counts responses whose traceparent echo did not carry
+	// the session's trace id (0 when propagation works, or with -trace=false).
+	TraceMismatches int64 `json:"trace_mismatches"`
+	// SlowestPulls lists the worst pull latencies with their trace ids.
+	SlowestPulls []slowPull `json:"slowest_pulls,omitempty"`
 }
 
 func main() {
@@ -83,9 +101,15 @@ func run(args []string, out, errw io.Writer) int {
 		jsonOut     = fs.Bool("json", false, "print the report as JSON on stdout")
 		chaos       = fs.Bool("chaos", false, "inject random mid-stream disconnects and per-pull deadlines")
 		chaosSeed   = fs.Int64("chaos-seed", 1, "seed for the -chaos injection schedule")
+		trace       = fs.Bool("trace", true, "send a per-session W3C traceparent and verify the server echoes the trace id")
 	)
+	version := fs.Bool("version", false, "print version and build metadata, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(out, buildinfo.String("loadgen"))
+		return 0
 	}
 	if *sessions < 1 || *concurrency < 1 || *pulls < 1 || *k < 1 {
 		fmt.Fprintln(errw, "loadgen: -sessions, -concurrency, -pulls and -k must be positive")
@@ -101,6 +125,8 @@ func run(args []string, out, errw io.Writer) int {
 		pairs, failures       int64
 		throttled             int64
 		disconnects, timeouts int64
+		traceMismatch         int64
+		slowPulls             []slowPull
 		wg                    sync.WaitGroup
 		sem                   = make(chan struct{}, *concurrency)
 	)
@@ -114,6 +140,19 @@ func run(args []string, out, errw io.Writer) int {
 		failures++
 		mu.Unlock()
 		fmt.Fprintf(errw, "loadgen: "+format+"\n", a...)
+	}
+	// checkEcho verifies the response joined the session's distributed
+	// trace: the server echoes a traceparent in the session's trace id.
+	checkEcho := func(resp *http.Response, tid qtrace.TraceID) {
+		if !*trace {
+			return
+		}
+		sc, ok := qtrace.ParseTraceParent(resp.Header.Get("Traceparent"))
+		if !ok || sc.TraceID != tid {
+			mu.Lock()
+			traceMismatch++
+			mu.Unlock()
+		}
 	}
 
 	// doRetry performs req, retrying 409/429 (admission pushback) with
@@ -160,15 +199,28 @@ func run(args []string, out, errw io.Writer) int {
 				qreq["k"] = *knnK
 			}
 			body, _ := json.Marshal(qreq)
+			// One client root span context per session: create and every pull
+			// carry it, so the whole cursor session stitches into one trace.
+			var root qtrace.SpanContext
+			var tp string
+			if *trace {
+				root = qtrace.SpanContext{TraceID: qtrace.NewTraceID(), SpanID: qtrace.NewSpanID(), Flags: qtrace.FlagSampled}
+				tp = root.TraceParent()
+			}
 			t0 := time.Now()
 			resp, raw, err := doRetry(func() (*http.Request, error) {
-				return http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/query", bytes.NewReader(body))
+				if err == nil && tp != "" {
+					req.Header.Set("traceparent", tp)
+				}
+				return req, err
 			})
 			if err != nil {
 				fail("session %d create: %v", s, err)
 				return
 			}
 			record(&createLat, time.Since(t0))
+			checkEcho(resp, root.TraceID)
 			if resp.StatusCode != http.StatusCreated {
 				fail("session %d create: %d: %s", s, resp.StatusCode, raw)
 				return
@@ -220,14 +272,25 @@ func run(args []string, out, errw io.Writer) int {
 				}
 				t0 := time.Now()
 				resp, raw, err := doRetry(func() (*http.Request, error) {
-					return http.NewRequest(http.MethodGet, pullURL, nil)
+					req, err := http.NewRequest(http.MethodGet, pullURL, nil)
+					if err == nil && tp != "" {
+						req.Header.Set("traceparent", tp)
+					}
+					return req, err
 				})
 				if err != nil {
 					fail("session %d pull %d: %v", s, p, err)
 					return
 				}
+				checkEcho(resp, root.TraceID)
 				if !chaosPull {
-					record(&pullLat, time.Since(t0))
+					d := time.Since(t0)
+					record(&pullLat, d)
+					if tp != "" {
+						mu.Lock()
+						slowPulls = append(slowPulls, slowPull{TraceID: root.TraceID.String(), Cursor: cr.Cursor, Pull: p, Latency: d})
+						mu.Unlock()
+					}
 				}
 				if resp.StatusCode != http.StatusOK {
 					fail("session %d pull %d: %d: %s", s, p, resp.StatusCode, raw)
@@ -262,6 +325,11 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	// The worst pull latencies, with the trace ids to chase them by.
+	sort.Slice(slowPulls, func(i, j int) bool { return slowPulls[i].Latency > slowPulls[j].Latency })
+	if len(slowPulls) > 5 {
+		slowPulls = slowPulls[:5]
+	}
 
 	rep := report{
 		Sessions:         *sessions,
@@ -283,6 +351,8 @@ func run(args []string, out, errw io.Writer) int {
 		PullP95:          percentile(pullLat, 0.95),
 		PullP99:          percentile(pullLat, 0.99),
 		SLOP95:           *sloP95,
+		TraceMismatches:  traceMismatch,
+		SlowestPulls:     slowPulls,
 	}
 	worstP95 := rep.CreateP95
 	if rep.PullP95 > worstP95 {
@@ -305,6 +375,12 @@ func run(args []string, out, errw io.Writer) int {
 		}
 		fmt.Fprintf(out, "  create  p50 %-10v p95 %-10v p99 %v\n", rep.CreateP50, rep.CreateP95, rep.CreateP99)
 		fmt.Fprintf(out, "  pull    p50 %-10v p95 %-10v p99 %v\n", rep.PullP50, rep.PullP95, rep.PullP99)
+		if *trace {
+			fmt.Fprintf(out, "  trace   %d echo mismatches\n", traceMismatch)
+			for _, sp := range slowPulls {
+				fmt.Fprintf(out, "  slow    %-12v trace=%s cursor=%s pull=%d\n", sp.Latency, sp.TraceID, sp.Cursor, sp.Pull)
+			}
+		}
 	}
 	if !rep.SLOMet {
 		fmt.Fprintf(errw, "loadgen: SLO violated: worst p95 %v > %v (or failures)\n", worstP95, *sloP95)

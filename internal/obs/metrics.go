@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distjoin/internal/buildinfo"
 	"distjoin/internal/qtrace"
 	"distjoin/internal/stats"
 )
@@ -27,8 +28,12 @@ func WriteMetrics(w io.Writer, r *Recorder, c *stats.Counters) {
 
 // WriteMetricsTraced is WriteMetrics plus, when qt is non-nil, the query
 // tracer's per-query resource gauges: one labeled sample per flight-recorder
-// trace, newest first, and the live count of running queries.
-func WriteMetricsTraced(w io.Writer, r *Recorder, c *stats.Counters, qt *qtrace.Tracer) {
+// trace, newest first, and the live count of running queries. Each extra, if
+// any, is invoked in order after the built-in families — the hook other
+// subsystems (RED middleware, OTLP exporter, build info beyond the default)
+// use to join the same exposition without obs importing them.
+func WriteMetricsTraced(w io.Writer, r *Recorder, c *stats.Counters, qt *qtrace.Tracer, extras ...func(io.Writer)) {
+	buildinfo.WritePrometheus(w)
 	if r != nil {
 		writeRecorderMetrics(w, r)
 	}
@@ -44,6 +49,11 @@ func WriteMetricsTraced(w io.Writer, r *Recorder, c *stats.Counters, qt *qtrace.
 	}
 	if qt != nil {
 		writeQueryMetrics(w, qt)
+	}
+	for _, extra := range extras {
+		if extra != nil {
+			extra(w)
+		}
 	}
 }
 
@@ -182,11 +192,12 @@ func Handler(r *Recorder, c *stats.Counters) http.Handler {
 	return HandlerTraced(r, c, nil)
 }
 
-// HandlerTraced is Handler plus the query tracer's per-query gauges.
-func HandlerTraced(r *Recorder, c *stats.Counters, qt *qtrace.Tracer) http.Handler {
+// HandlerTraced is Handler plus the query tracer's per-query gauges. Extras
+// are forwarded to WriteMetricsTraced on every scrape.
+func HandlerTraced(r *Recorder, c *stats.Counters, qt *qtrace.Tracer, extras ...func(io.Writer)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteMetricsTraced(w, r, c, qt)
+		WriteMetricsTraced(w, r, c, qt, extras...)
 	})
 }
 

@@ -200,9 +200,9 @@ func TestWriteMetricsNilRecorder(t *testing.T) {
 		t.Errorf("nil-recorder /metrics emitted recorder families:\n%s", body)
 	}
 	var none strings.Builder
-	WriteMetricsTraced(&none, nil, nil, nil) // fully nil: no output, no panic
-	if none.Len() != 0 {
-		t.Errorf("all-nil WriteMetricsTraced wrote %q", none.String())
+	WriteMetricsTraced(&none, nil, nil, nil) // fully nil: build info only, no panic
+	if out := none.String(); !strings.Contains(out, "distjoin_build_info{") || strings.Count(out, "# HELP") != 1 {
+		t.Errorf("all-nil WriteMetricsTraced wrote %q, want exactly the build-info family", out)
 	}
 }
 

@@ -1,0 +1,250 @@
+package otlpexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Collector is an in-process OTLP/HTTP-JSON trace collector for tests and
+// the CI smoke: it accepts POST /v1/traces, validates every span against
+// the subset of the protocol the exporter emits (the same constraints as
+// testdata/otlpspan.schema.json), and retains what it received for
+// assertions.
+//
+//	POST /v1/traces  ingest an ExportRequest; 400 on malformed spans
+//	GET  /v1/traces  dump received spans grouped by trace id, as JSON
+//	GET  /stats      ingestion counters, as JSON
+//
+// FailFirst, set before serving, makes the first n POSTs return 503 — the
+// hook smoke tests use to prove the exporter's retry ladder.
+type Collector struct {
+	// FailFirst rejects this many leading POSTs with 503.
+	FailFirst int
+
+	mu       sync.Mutex
+	posts    int
+	rejected int
+	spans    []WireSpan
+	services []string
+}
+
+// CollectorStats is the /stats document.
+type CollectorStats struct {
+	Posts    int      `json:"posts"`
+	Rejected int      `json:"rejected_posts"`
+	Spans    int      `json:"spans"`
+	Services []string `json:"services"`
+}
+
+// ServeHTTP implements the three routes.
+func (c *Collector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/traces" && r.Method == http.MethodPost:
+		c.ingest(w, r)
+	case r.URL.Path == "/v1/traces" && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Traces())
+	case r.URL.Path == "/stats":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Stats())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (c *Collector) ingest(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.posts++
+	if c.posts <= c.FailFirst {
+		c.rejected++
+		c.mu.Unlock()
+		http.Error(w, "injected failure", http.StatusServiceUnavailable)
+		return
+	}
+	c.mu.Unlock()
+
+	var req ExportRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields() // the schema subset is closed: unknown fields are a contract break
+	if err := dec.Decode(&req); err != nil {
+		c.reject(w, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	var batch []WireSpan
+	var services []string
+	for _, rs := range req.ResourceSpans {
+		svc := resourceService(rs)
+		if svc == "" {
+			c.reject(w, fmt.Errorf("resource has no service.name attribute"))
+			return
+		}
+		services = append(services, svc)
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				if err := ValidateWireSpan(sp); err != nil {
+					c.reject(w, fmt.Errorf("span %q: %w", sp.Name, err))
+					return
+				}
+				batch = append(batch, sp)
+			}
+		}
+	}
+	c.mu.Lock()
+	c.spans = append(c.spans, batch...)
+	for _, svc := range services {
+		if !contains(c.services, svc) {
+			c.services = append(c.services, svc)
+		}
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, "{}") // empty ExportTraceServiceResponse: full success
+}
+
+func (c *Collector) reject(w http.ResponseWriter, err error) {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// Stats returns the ingestion counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CollectorStats{
+		Posts:    c.posts,
+		Rejected: c.rejected,
+		Spans:    len(c.spans),
+		Services: append([]string(nil), c.services...),
+	}
+}
+
+// Spans returns every accepted span, in arrival order.
+func (c *Collector) Spans() []WireSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]WireSpan(nil), c.spans...)
+}
+
+// Traces groups the accepted spans by trace id, sorted by id for stable
+// output.
+func (c *Collector) Traces() map[string][]WireSpan {
+	out := map[string][]WireSpan{}
+	for _, sp := range c.Spans() {
+		out[sp.TraceID] = append(out[sp.TraceID], sp)
+	}
+	return out
+}
+
+// TraceIDs lists the distinct trace ids received, sorted.
+func (c *Collector) TraceIDs() []string {
+	byID := c.Traces()
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ValidateWireSpan enforces the exporter's wire contract on one span: hex
+// id widths, required fields, parseable timestamps in order, known enum
+// values, and well-formed attributes. The checked-in
+// testdata/otlpspan.schema.json states the same constraints declaratively.
+func ValidateWireSpan(sp WireSpan) error {
+	if !isHexN(sp.TraceID, 32) {
+		return fmt.Errorf("traceId %q is not 32 hex chars", sp.TraceID)
+	}
+	if !isHexN(sp.SpanID, 16) {
+		return fmt.Errorf("spanId %q is not 16 hex chars", sp.SpanID)
+	}
+	if sp.ParentSpanID != "" && !isHexN(sp.ParentSpanID, 16) {
+		return fmt.Errorf("parentSpanId %q is not 16 hex chars", sp.ParentSpanID)
+	}
+	if sp.Name == "" {
+		return fmt.Errorf("span has no name")
+	}
+	if sp.Kind < KindInternal || sp.Kind > KindClient {
+		return fmt.Errorf("kind %d outside the emitted range", sp.Kind)
+	}
+	start, err := strconv.ParseInt(sp.StartTimeUnixNano, 10, 64)
+	if err != nil {
+		return fmt.Errorf("startTimeUnixNano %q: %v", sp.StartTimeUnixNano, err)
+	}
+	end, err := strconv.ParseInt(sp.EndTimeUnixNano, 10, 64)
+	if err != nil {
+		return fmt.Errorf("endTimeUnixNano %q: %v", sp.EndTimeUnixNano, err)
+	}
+	if end < start {
+		return fmt.Errorf("span ends (%d) before it starts (%d)", end, start)
+	}
+	if sp.Status != nil && (sp.Status.Code < StatusUnset || sp.Status.Code > StatusError) {
+		return fmt.Errorf("status code %d unknown", sp.Status.Code)
+	}
+	for _, kv := range sp.Attributes {
+		if kv.Key == "" {
+			return fmt.Errorf("attribute with empty key")
+		}
+		set := 0
+		for _, present := range []bool{
+			kv.Value.StringValue != nil, kv.Value.IntValue != nil,
+			kv.Value.DoubleValue != nil, kv.Value.BoolValue != nil,
+		} {
+			if present {
+				set++
+			}
+		}
+		if set != 1 {
+			return fmt.Errorf("attribute %q sets %d value fields, want exactly 1", kv.Key, set)
+		}
+		if kv.Value.IntValue != nil {
+			if _, err := strconv.ParseInt(*kv.Value.IntValue, 10, 64); err != nil {
+				return fmt.Errorf("attribute %q intValue %q: %v", kv.Key, *kv.Value.IntValue, err)
+			}
+		}
+	}
+	for _, l := range sp.Links {
+		if !isHexN(l.TraceID, 32) || !isHexN(l.SpanID, 16) {
+			return fmt.Errorf("link %s/%s has malformed ids", l.TraceID, l.SpanID)
+		}
+	}
+	return nil
+}
+
+func resourceService(rs ResourceSpans) string {
+	for _, kv := range rs.Resource.Attributes {
+		if kv.Key == "service.name" && kv.Value.StringValue != nil {
+			return *kv.Value.StringValue
+		}
+	}
+	return ""
+}
+
+func isHexN(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -58,6 +58,52 @@ type RetryPolicy struct {
 // Enabled reports whether the policy actually retries anything.
 func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 1 }
 
+// Do runs f under the policy: failures that IsTransient classifies as
+// retryable are re-attempted with exponential backoff until the attempt
+// budget is exhausted or Done closes, exactly as RetryStore does for
+// storage operations. op names the operation for the OnFault/OnRetry
+// observers. Do is the policy's generic retry loop — the OTLP span
+// exporter reuses it for HTTP 429/5xx backoff by wrapping retryable
+// response codes in ErrTransient.
+func (p RetryPolicy) Do(op string, f func() error) error {
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	delay := p.Backoff
+	for attempt := 1; ; attempt++ {
+		err := f()
+		if err == nil {
+			return nil
+		}
+		if p.OnFault != nil {
+			p.OnFault(op, err)
+		}
+		if !IsTransient(err) || attempt >= p.MaxAttempts {
+			return err
+		}
+		// Interruption check before committing to a retry: a closed Done
+		// abandons the ladder without invoking OnRetry (no re-attempt is
+		// made) even when the backoff delay is zero.
+		select {
+		case <-p.Done:
+			return fmt.Errorf("%w: %w", ErrRetryInterrupted, err)
+		default:
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(op, attempt, err)
+		}
+		if delay > 0 {
+			if !p.pause(delay) {
+				return fmt.Errorf("%w: %w", ErrRetryInterrupted, err)
+			}
+			delay = time.Duration(float64(delay) * p.Multiplier)
+			if p.MaxBackoff > 0 && delay > p.MaxBackoff {
+				delay = p.MaxBackoff
+			}
+		}
+	}
+}
+
 // RetryStore wraps a Store and re-attempts operations that fail with a
 // transient error (per IsTransient), sleeping an exponentially growing
 // backoff between attempts. Permanent errors pass through untouched on
@@ -80,39 +126,7 @@ func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
 func (s *RetryStore) Inner() Store { return s.inner }
 
 func (s *RetryStore) do(op string, f func() error) error {
-	delay := s.policy.Backoff
-	for attempt := 1; ; attempt++ {
-		err := f()
-		if err == nil {
-			return nil
-		}
-		if s.policy.OnFault != nil {
-			s.policy.OnFault(op, err)
-		}
-		if !IsTransient(err) || attempt >= s.policy.MaxAttempts {
-			return err
-		}
-		// Interruption check before committing to a retry: a closed Done
-		// abandons the ladder without invoking OnRetry (no re-attempt is
-		// made) even when the backoff delay is zero.
-		select {
-		case <-s.policy.Done:
-			return fmt.Errorf("%w: %w", ErrRetryInterrupted, err)
-		default:
-		}
-		if s.policy.OnRetry != nil {
-			s.policy.OnRetry(op, attempt, err)
-		}
-		if delay > 0 {
-			if !s.policy.pause(delay) {
-				return fmt.Errorf("%w: %w", ErrRetryInterrupted, err)
-			}
-			delay = time.Duration(float64(delay) * s.policy.Multiplier)
-			if s.policy.MaxBackoff > 0 && delay > s.policy.MaxBackoff {
-				delay = s.policy.MaxBackoff
-			}
-		}
-	}
+	return s.policy.Do(op, f)
 }
 
 // pause waits out one backoff delay, reporting false when Done closed

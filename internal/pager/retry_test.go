@@ -215,3 +215,64 @@ func TestRetryStoreBackoffGrowsAndCaps(t *testing.T) {
 		}
 	}
 }
+
+// TestPolicyDo exercises the exported generic retry loop directly: transient
+// errors are retried up to the attempt budget, permanent errors pass through
+// on the first attempt, and a closed Done interrupts the ladder.
+func TestPolicyDo(t *testing.T) {
+	transient := fmt.Errorf("%w: flaky", ErrTransient)
+
+	t.Run("succeeds after transient failures", func(t *testing.T) {
+		var delays []time.Duration
+		calls := 0
+		p := RetryPolicy{
+			MaxAttempts: 4,
+			Backoff:     10 * time.Millisecond,
+			MaxBackoff:  15 * time.Millisecond,
+			Sleep:       func(d time.Duration) { delays = append(delays, d) },
+		}
+		err := p.Do("op", func() error {
+			calls++
+			if calls < 3 {
+				return transient
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+		}
+		want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+		if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+			t.Fatalf("backoff delays = %v, want %v", delays, want)
+		}
+	})
+
+	t.Run("permanent error is not retried", func(t *testing.T) {
+		perm := errors.New("permanent")
+		calls := 0
+		p := RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}}
+		if err := p.Do("op", func() error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
+			t.Fatalf("Do = %v after %d calls, want permanent after 1", err, calls)
+		}
+	})
+
+	t.Run("exhausted budget returns the transient error", func(t *testing.T) {
+		calls := 0
+		p := RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+		err := p.Do("op", func() error { calls++; return transient })
+		if !IsTransient(err) || calls != 3 {
+			t.Fatalf("Do = %v after %d calls, want transient after 3", err, calls)
+		}
+	})
+
+	t.Run("closed Done interrupts", func(t *testing.T) {
+		done := make(chan struct{})
+		close(done)
+		calls := 0
+		p := RetryPolicy{MaxAttempts: 5, Done: done, Sleep: func(time.Duration) {}}
+		err := p.Do("op", func() error { calls++; return transient })
+		if !errors.Is(err, ErrRetryInterrupted) || !IsTransient(err) || calls != 1 {
+			t.Fatalf("Do = %v after %d calls, want ErrRetryInterrupted after 1", err, calls)
+		}
+	})
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// SlowDistCalcs logs queries whose object distance-computation count
 	// reaches the threshold.
 	SlowDistCalcs int64
+	// OnComplete, when non-nil, receives every completed query trace after
+	// it lands in the flight recorder (and slow-query log). The OTLP span
+	// exporter hooks here to ship span trees to a collector. Called
+	// synchronously without the tracer's lock held; the hook must not
+	// block for long.
+	OnComplete func(*QueryTrace)
 }
 
 // Tracer is the process-wide query tracing subsystem: it assigns query IDs,
@@ -88,6 +94,17 @@ type Tracer struct {
 	ring    []*QueryTrace // completed traces, oldest first
 	slow    *bufio.Writer
 	slowErr error
+	// pre maps a query id to trace context registered via PreBegin before
+	// the engine's Begin call; entries are consumed by Begin (or dropped by
+	// Unlink when engine construction fails).
+	pre map[string]preContext
+}
+
+// preContext is a PreBegin registration: the span context the query's trace
+// will carry plus the id of its remote parent span.
+type preContext struct {
+	sc     SpanContext
+	parent SpanID
 }
 
 // New creates a Tracer.
@@ -116,7 +133,65 @@ func (t *Tracer) Begin(kind, id string) *Query {
 		t.seq.Add(1)
 	}
 	t.active.Add(1)
-	return &Query{tr: t, id: id, kind: kind, start: time.Now()}
+	q := &Query{tr: t, id: id, kind: kind, start: time.Now()}
+	// Adopt pre-registered trace context (PreBegin), else mint a fresh
+	// root identity so every trace is exportable as a distributed span.
+	t.mu.Lock()
+	pc, ok := t.pre[id]
+	if ok {
+		delete(t.pre, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		q.sc, q.parentSpan = pc.sc, pc.parent
+	} else {
+		q.sc = SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	}
+	return q
+}
+
+// PreBegin registers W3C trace context for an upcoming query id and returns
+// the span context the query's trace will carry: the parent's trace id (or
+// a fresh one when parent is invalid), a fresh span id, and the parent's
+// flags and tracestate. The query service calls this before constructing a
+// cursor's engine so the inbound traceparent becomes the ancestor of the
+// cursor's query trace; the returned context is what pull spans link to and
+// what the create response echoes. The registration is consumed by the
+// matching Begin; call Unlink if the engine never starts. Nil-safe: a nil
+// tracer still returns a usable context (propagation works untraced).
+func (t *Tracer) PreBegin(id string, parent SpanContext) SpanContext {
+	sc := SpanContext{
+		TraceID: parent.TraceID,
+		SpanID:  NewSpanID(),
+		Flags:   parent.Flags,
+		State:   parent.State,
+	}
+	if !parent.Valid() {
+		sc.TraceID = NewTraceID()
+		sc.Flags = FlagSampled
+		sc.State = ""
+	}
+	if t == nil {
+		return sc
+	}
+	t.mu.Lock()
+	if t.pre == nil {
+		t.pre = make(map[string]preContext)
+	}
+	t.pre[id] = preContext{sc: sc, parent: parent.SpanID}
+	t.mu.Unlock()
+	return sc
+}
+
+// Unlink drops a PreBegin registration whose query never began (engine
+// construction failed). Nil-safe.
+func (t *Tracer) Unlink(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delete(t.pre, id)
+	t.mu.Unlock()
 }
 
 // Active returns the number of begun-but-unfinished queries.
@@ -177,9 +252,17 @@ func (t *Tracer) Close() error {
 }
 
 // complete lands a finished trace in the flight recorder and, when it
-// crosses a slow threshold, the slow-query log.
+// crosses a slow threshold, the slow-query log; the OnComplete hook (OTLP
+// export) runs last, outside the lock.
 func (t *Tracer) complete(qt *QueryTrace) {
 	t.active.Add(-1)
+	t.landTrace(qt)
+	if t.cfg.OnComplete != nil {
+		t.cfg.OnComplete(qt)
+	}
+}
+
+func (t *Tracer) landTrace(qt *QueryTrace) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.ring) >= t.cfg.FlightSize {
@@ -232,6 +315,12 @@ type Query struct {
 	id    string
 	kind  string
 	start time.Time
+
+	// sc is the query's W3C span identity (the "query" root span of its
+	// trace document); parentSpan is the remote parent registered via
+	// PreBegin (zero when the query is a trace root).
+	sc         SpanContext
+	parentSpan SpanID
 
 	planNS  atomic.Int64
 	mergeNS atomic.Int64
@@ -374,6 +463,14 @@ func (q *Query) Finish(err error) *QueryTrace {
 		Kind:          q.kind,
 		StartTime:     q.start.Format(time.RFC3339Nano),
 		WallSeconds:   wall.Seconds(),
+	}
+	if q.sc.Valid() {
+		qt.TraceID = q.sc.TraceID.String()
+		qt.SpanID = q.sc.SpanID.String()
+		qt.TraceFlags = int(q.sc.Flags)
+		if !q.parentSpan.IsZero() {
+			qt.ParentSpanID = q.parentSpan.String()
+		}
 	}
 	if err != nil {
 		qt.Error = err.Error()
@@ -531,8 +628,19 @@ type QueryTrace struct {
 	SchemaVersion int    `json:"schema_version"`
 	ID            string `json:"id"`
 	Kind          string `json:"kind"`
-	StartTime     string `json:"start_time"`
-	WallSeconds   float64 `json:"wall_seconds"`
+	// TraceID/SpanID/ParentSpanID are the query's W3C trace identity: the
+	// distributed trace it belongs to, the id of its "query" root span, and
+	// the remote parent span registered before Begin (empty when the query
+	// is its trace's root). TraceFlags carries the W3C flags byte (bit 0:
+	// sampled). The OTLP exporter ships the span tree under this identity,
+	// and the slow-query log line carries it so a log line, a flight-
+	// recorder entry, and a collector trace cross-reference each other.
+	TraceID      string  `json:"trace_id,omitempty"`
+	SpanID       string  `json:"span_id,omitempty"`
+	ParentSpanID string  `json:"parent_span_id,omitempty"`
+	TraceFlags   int     `json:"trace_flags,omitempty"`
+	StartTime    string  `json:"start_time"`
+	WallSeconds  float64 `json:"wall_seconds"`
 	// Workers is the number of engines the run used: 1 on the sequential
 	// path, the partition count on the parallel path.
 	Workers int `json:"workers"`

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"distjoin"
+	"distjoin/internal/qtrace"
 )
 
 // cursorState is the lifecycle of a server-side cursor.
@@ -66,6 +67,14 @@ type cursor struct {
 	close func() error
 	abort func(error) error // close latching a terminal error the engine never saw
 	stats *distjoin.Stats   // per-cursor counters, merged into the server total on close
+
+	// sc is the query span's W3C context (minted by PreBegin at creation);
+	// client is the inbound traceparent that parented it, zero when the
+	// create request carried none. Both are immutable after creation. pulls
+	// numbers the pull spans of this cursor; it is only touched under op.
+	sc     qtrace.SpanContext
+	client qtrace.SpanContext
+	pulls  int64
 
 	// ctx is the engine's Options.Context: canceling it (cancel, with a
 	// cause) interrupts a live pull mid-engine-work — the iterator

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"distjoin/internal/otlpexport"
+	"distjoin/internal/qtrace"
+)
+
+// HTTP-layer observability: the RED/logging middleware every request passes
+// through, and the per-pull OTLP server spans that stitch a cursor's HTTP
+// session into the client's distributed trace. All of it is optional —
+// Config.Logger, Config.RED and Config.Exporter may each be nil — and the
+// handlers never block on any of it.
+
+// statusWriter captures the response status for the middleware. It always
+// implements http.Flusher (a no-op when the underlying writer cannot
+// flush), so the NDJSON stream path keeps flushing through it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// endpointName maps a request to its RED endpoint label: a small closed set
+// so metric cardinality stays bounded no matter what paths clients probe.
+func endpointName(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/query":
+		return "query"
+	case strings.HasPrefix(p, "/v1/cursor/"):
+		_, verb, _ := strings.Cut(strings.TrimPrefix(p, "/v1/cursor/"), "/")
+		switch verb {
+		case "next":
+			return "next"
+		case "stream":
+			return "stream"
+		case "":
+			if r.Method == http.MethodDelete {
+				return "delete"
+			}
+			return "info"
+		}
+		return "cursor_other"
+	case p == "/v1/indexes":
+		return "indexes"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/readyz":
+		return "readyz"
+	}
+	return "other"
+}
+
+// observeMiddleware feeds every finished request to the RED collector and
+// the structured request log. It runs outside recoverMiddleware so a
+// recovered panic's 500 is observed like any other server error. The
+// trace/query identity is read back from the response headers the handlers
+// stamp via echoTrace, which keeps this layer ignorant of routing.
+func (s *Server) observeMiddleware(h http.Handler) http.Handler {
+	if s.cfg.RED == nil && s.cfg.Logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		ep := endpointName(r)
+		query := sw.Header().Get("X-Distjoin-Query")
+		s.cfg.RED.Observe(ep, status, dur, query)
+		if s.cfg.Logger == nil {
+			return
+		}
+		traceID := ""
+		if sc, ok := qtrace.ParseTraceParent(sw.Header().Get("Traceparent")); ok {
+			traceID = sc.TraceID.String()
+		} else if sc := inboundContext(r); sc.Valid() {
+			traceID = sc.TraceID.String()
+		}
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case ep == "healthz" || ep == "readyz":
+			level = slog.LevelDebug // probes are noise at info
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), level, "request",
+			slog.String("endpoint", ep),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("duration", dur),
+			slog.String("trace_id", traceID),
+			slog.String("query", query),
+		)
+	})
+}
+
+// pullSpanStart mints the identity of one pull's server span. The span
+// joins, in order of preference: the trace context this pull request itself
+// carried, the client context that created the cursor, or the cursor's own
+// query span — so a client that propagates context per request gets exact
+// per-pull parentage, and one that only traced the create still gets every
+// pull under its root. Returns the pull span's context (for the response
+// echo) and its parent span id.
+func (s *Server) pullSpanStart(r *http.Request, c *cursor) (psc qtrace.SpanContext, parent qtrace.SpanID) {
+	anchor := inboundContext(r)
+	if !anchor.Valid() {
+		anchor = c.client
+	}
+	if !anchor.Valid() {
+		anchor = c.sc
+	}
+	if !anchor.Valid() {
+		return qtrace.SpanContext{}, qtrace.SpanID{}
+	}
+	return qtrace.SpanContext{
+		TraceID: anchor.TraceID,
+		SpanID:  qtrace.NewSpanID(),
+		Flags:   anchor.Flags,
+		State:   anchor.State,
+	}, anchor.SpanID
+}
+
+// finishPullSpan exports the pull's server span: result-annotated, linked to
+// the cursor's query span (whose engine span tree the tracer's OnComplete
+// exports when the cursor finishes). Caller holds c.op.
+func (s *Server) finishPullSpan(c *cursor, psc qtrace.SpanContext, parent qtrace.SpanID, start time.Time, name string, k int, pairs int64, done bool, truncated string, err error) {
+	if s.cfg.Exporter == nil || !psc.Valid() {
+		return
+	}
+	c.pulls++
+	sp := otlpexport.Span{
+		TraceID:    psc.TraceID,
+		SpanID:     psc.SpanID,
+		Parent:     parent,
+		TraceState: psc.State,
+		Name:       name,
+		Kind:       otlpexport.KindServer,
+		Start:      start,
+		End:        time.Now(),
+		Attrs: []otlpexport.Attr{
+			otlpexport.Str("distjoin.cursor", c.id),
+			otlpexport.Str("distjoin.query.id", c.queryID),
+			otlpexport.Int("distjoin.pull.seq", c.pulls),
+			otlpexport.Int("distjoin.pull.k", int64(k)),
+			otlpexport.Int("distjoin.pull.pairs", pairs),
+			otlpexport.Bool("distjoin.pull.done", done),
+		},
+		StatusCode: otlpexport.StatusOK,
+	}
+	if truncated != "" {
+		sp.Attrs = append(sp.Attrs, otlpexport.Str("distjoin.pull.truncated", truncated))
+	}
+	if err != nil {
+		sp.StatusCode = otlpexport.StatusError
+		sp.StatusMsg = err.Error()
+	}
+	// Cross-reference the query span unless it is already this span's direct
+	// parent (no traceparent anywhere: the pull hangs off the query span).
+	if c.sc.Valid() && c.sc.SpanID != parent {
+		sp.Links = append(sp.Links, otlpexport.Link{TraceID: c.sc.TraceID, SpanID: c.sc.SpanID})
+	}
+	s.cfg.Exporter.EnqueueSpans([]otlpexport.Span{sp})
+}

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -40,6 +41,9 @@ import (
 	"time"
 
 	"distjoin"
+	"distjoin/internal/obs"
+	"distjoin/internal/otlpexport"
+	"distjoin/internal/qtrace"
 )
 
 // Defaults for Config's zero fields.
@@ -103,6 +107,19 @@ type Config struct {
 	// Stats aggregates the work counters of every closed cursor. May be
 	// nil.
 	Stats *distjoin.Stats
+	// Logger receives one structured line per finished HTTP request,
+	// carrying endpoint, status, duration, and the trace/query identity of
+	// the cursor it touched. May be nil (no request logging).
+	Logger *slog.Logger
+	// RED records per-endpoint request rate, error classes, and duration
+	// histograms plus the pull-latency SLO burn rate; mount it on /metrics
+	// via obs.HandlerTraced extras. May be nil.
+	RED *obs.RED
+	// Exporter receives one OTLP server span per pull, linked to the
+	// cursor's query span, so multi-pull sessions stitch into one
+	// distributed trace (wire the same exporter as the tracer's OnComplete
+	// to ship the engine span trees too). May be nil (no span export).
+	Exporter *otlpexport.Exporter
 	// BaseOptions is the join-options template every cursor starts from;
 	// request fields override it. This is where operators (and tests)
 	// inject a QueueStore factory, RetryIO policy, profiling spans, or a
@@ -193,7 +210,9 @@ func NewServer(cfg Config) *Server {
 		}
 		io.WriteString(w, "ok\n")
 	})
-	s.handler = recoverMiddleware(s.mux)
+	// observe outside recover: a handler panic becomes recoverMiddleware's
+	// 500, which the RED metrics and request log then see as a server error.
+	s.handler = s.observeMiddleware(recoverMiddleware(s.mux))
 	go s.janitor()
 	return s
 }
@@ -442,6 +461,11 @@ type CreateResponse struct {
 	Index2      string `json:"index2"`
 	ExpiresAt   string `json:"expires_at"`
 	BudgetBytes int64  `json:"budget_bytes"`
+	// TraceParent is the W3C context of the cursor's query span — a child
+	// of the traceparent the request carried, or a fresh trace root. Echoed
+	// in the traceparent response header too; clients that keep sending
+	// their own context on pulls stitch the whole session into one trace.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // PairJSON is one result pair on the wire.
@@ -502,7 +526,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("invalid request body: "+err.Error()))
 		return
 	}
-	c, e := s.createCursor(&req)
+	c, e := s.createCursor(&req, inboundContext(r))
 	if e != nil {
 		writeErr(w, e)
 		return
@@ -510,6 +534,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	c.st.Lock()
 	expires := c.deadline
 	c.st.Unlock()
+	echoTrace(w, c.sc, c.queryID)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	json.NewEncoder(w).Encode(CreateResponse{
@@ -520,11 +545,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Index2:      c.index2,
 		ExpiresAt:   expires.UTC().Format(time.RFC3339Nano),
 		BudgetBytes: c.budget,
+		TraceParent: c.sc.TraceParent(),
 	})
 }
 
-// createCursor runs admission and opens the engine iterator.
-func (s *Server) createCursor(req *QueryRequest) (*cursor, *httpError) {
+// inboundContext extracts the W3C trace context of a request. Per the spec
+// tracestate is only meaningful alongside a valid traceparent.
+func inboundContext(r *http.Request) qtrace.SpanContext {
+	sc, ok := qtrace.ParseTraceParent(r.Header.Get("traceparent"))
+	if !ok {
+		return qtrace.SpanContext{}
+	}
+	sc.State = r.Header.Get("tracestate")
+	return sc
+}
+
+// echoTrace stamps the response with the span context the server minted
+// for this request plus the cursor's query id, so clients (and the request
+// log) can correlate the HTTP exchange with the exported trace.
+func echoTrace(w http.ResponseWriter, sc qtrace.SpanContext, queryID string) {
+	if tp := sc.TraceParent(); tp != "" {
+		w.Header().Set("Traceparent", tp)
+		if sc.State != "" {
+			w.Header().Set("Tracestate", sc.State)
+		}
+	}
+	if queryID != "" {
+		w.Header().Set("X-Distjoin-Query", queryID)
+	}
+}
+
+// createCursor runs admission and opens the engine iterator. parent is the
+// client's inbound trace context (zero when the request carried none): the
+// cursor's query trace becomes its child span, so the whole cursor session
+// lands in the client's distributed trace.
+func (s *Server) createCursor(req *QueryRequest, parent qtrace.SpanContext) (*cursor, *httpError) {
 	si1, err := s.cfg.Registry.Get(req.Index1)
 	if err != nil {
 		return nil, &httpError{Status: http.StatusNotFound, Msg: err.Error()}
@@ -567,8 +622,13 @@ func (s *Server) createCursor(req *QueryRequest) (*cursor, *httpError) {
 		stopWall()
 	}
 	opts.Context = ctx
+	// Register the trace identity before the engine begins: Begin adopts it,
+	// making the engine's span tree a child of the client's span (or a fresh
+	// trace root). Nil-safe — an untraced server still propagates context.
+	sc := opts.Tracer.PreBegin(id, parent)
 	next, closeFn, abortFn, err := openIterator(req, si1, si2, opts)
 	if err != nil {
+		opts.Tracer.Unlink(id)
 		cancel(nil)
 		s.releaseBudget(budget)
 		// Engine construction errors are almost always invalid client
@@ -593,6 +653,8 @@ func (s *Server) createCursor(req *QueryRequest) (*cursor, *httpError) {
 		stats:   opts.Counters,
 		ctx:     ctx,
 		cancel:  cancel,
+		sc:      sc,
+		client:  parent,
 	}
 	c.deadline = now.Add(s.cfg.TTL)
 	if e := s.table.insert(c); e != nil {
@@ -672,6 +734,10 @@ func (s *Server) buildOptions(req *QueryRequest, queryID string) (distjoin.Optio
 	}
 	if s.cfg.Tracer != nil && opts.Tracer == nil {
 		opts.Tracer = s.cfg.Tracer
+	}
+	if opts.Tracer != nil && opts.QueryID == "" {
+		// Cursor id doubles as query id — and as the key the createCursor
+		// PreBegin registration is consumed under.
 		opts.QueryID = queryID
 	}
 	if opts.Counters == nil {
@@ -930,11 +996,20 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request, id string, s
 		}
 	}()
 
+	// Pull span identity up front: the response headers carry it (echoed
+	// before any body byte), the span itself is exported once the pull's
+	// outcome is known.
+	pullStart := time.Now()
+	psc, parentSpan := s.pullSpanStart(r, c)
+	echoTrace(w, psc, c.queryID)
+
 	if stream {
-		s.streamPairs(w, rctx, c, k)
+		n, done, truncated, err := s.streamPairs(w, rctx, c, k)
+		s.finishPullSpan(c, psc, parentSpan, pullStart, "cursor stream", k, n, done, truncated, err)
 		return
 	}
 	pairs, done, truncated, err := s.pull(c, k, rctx)
+	s.finishPullSpan(c, psc, parentSpan, pullStart, "cursor next", k, int64(len(pairs)), done, truncated, err)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, distjoin.ErrCanceled) {
@@ -978,8 +1053,9 @@ type streamTrailer struct {
 // the last line is a streamTrailer. An engine error mid-stream appears in
 // the trailer (headers are long gone), and the cursor is terminal. A soft
 // stop (rctx expired: client gone or pull timeout) ends the stream between
-// Next calls with the reason in the trailer, cursor still open.
-func (s *Server) streamPairs(w http.ResponseWriter, rctx context.Context, c *cursor, k int) {
+// Next calls with the reason in the trailer, cursor still open. The return
+// values describe the pull's outcome for its exported span.
+func (s *Server) streamPairs(w http.ResponseWriter, rctx context.Context, c *cursor, k int) (int64, bool, string, error) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -1030,6 +1106,7 @@ func (s *Server) streamPairs(w http.ResponseWriter, rctx context.Context, c *cur
 	if flusher != nil {
 		flusher.Flush()
 	}
+	return n, done, truncated, pullErr
 }
 
 // handleInfo serves cursor status.
@@ -1039,6 +1116,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, id string) {
 		writeErr(w, e)
 		return
 	}
+	echoTrace(w, c.sc, c.queryID)
 	c.st.Lock()
 	state := "open"
 	switch c.state {
@@ -1074,6 +1152,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, id string) {
 		writeErr(w, e)
 		return
 	}
+	echoTrace(w, c.sc, c.queryID)
 	// Hard-cancel before taking op: an in-flight pull surfaces ErrCanceled
 	// promptly, so DELETE never waits out a long stream to finish.
 	c.hardCancel(errCursorDeleted)
